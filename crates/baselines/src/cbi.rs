@@ -1,0 +1,172 @@
+//! A CBI-style sampling bug isolator (§7 related work).
+//!
+//! Cooperative Bug Isolation keeps client overhead low by *sampling*
+//! predicates (typically ~1/100); the price is diagnosis latency: a
+//! predictor must be lucky enough to be sampled in the runs where it
+//! matters. Gist's argument (§2, §7): always-on but *focused* tracking
+//! avoids that latency. [`SamplingIsolator`] quantifies it — it applies
+//! Bernoulli sampling to each run's observations and reports how many
+//! failing runs are needed before the true top predictor surfaces.
+
+use gist_predictors::{rank, Predictor, RunObservations};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampling-based isolator with rate `1/period`.
+pub struct SamplingIsolator {
+    period: u32,
+    rng: StdRng,
+}
+
+impl SamplingIsolator {
+    /// Creates an isolator sampling each observation with probability
+    /// `1/period` (CBI commonly uses 1/100).
+    pub fn new(period: u32, seed: u64) -> Self {
+        SamplingIsolator {
+            period: period.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies sampling to one run's observations.
+    pub fn sample(&mut self, obs: &RunObservations) -> RunObservations {
+        let p = 1.0 / f64::from(self.period);
+        RunObservations {
+            failing: obs.failing,
+            accesses: obs
+                .accesses
+                .iter()
+                .filter(|_| self.rng.gen::<f64>() < p)
+                .copied()
+                .collect(),
+            branches: obs
+                .branches
+                .iter()
+                .filter(|_| self.rng.gen::<f64>() < p)
+                .copied()
+                .collect(),
+            values: obs
+                .values
+                .iter()
+                .filter(|_| self.rng.gen::<f64>() < p)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Feeds runs one at a time (sampled) and returns how many *failing*
+    /// runs were consumed before the isolator's top predictor equals
+    /// `truth`, or `None` if it never stabilizes within the given runs.
+    pub fn failing_runs_until_found(
+        &mut self,
+        runs: &[RunObservations],
+        truth: &Predictor,
+        beta: f64,
+    ) -> Option<usize> {
+        let mut seen: Vec<RunObservations> = Vec::new();
+        let mut failing = 0usize;
+        for r in runs {
+            let sampled = self.sample(r);
+            if sampled.failing {
+                failing += 1;
+            }
+            seen.push(sampled);
+            let stats = rank(&seen, beta);
+            if let Some(top) = stats.first() {
+                if &top.predictor == truth && top.f_measure(beta) > 0.0 {
+                    return Some(failing);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The always-on (Gist-style) latency on the same runs, for comparison.
+pub fn always_on_failing_runs_until_found(
+    runs: &[RunObservations],
+    truth: &Predictor,
+    beta: f64,
+) -> Option<usize> {
+    let mut seen: Vec<RunObservations> = Vec::new();
+    let mut failing = 0usize;
+    for r in runs {
+        if r.failing {
+            failing += 1;
+        }
+        seen.push(r.clone());
+        let stats = rank(&seen, beta);
+        if let Some(top) = stats.first() {
+            if &top.predictor == truth && top.f_measure(beta) > 0.0 {
+                return Some(failing);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_ir::InstrId;
+
+    /// Synthetic runs: value==0 at stmt 1 perfectly predicts failure.
+    fn runs(n: usize) -> Vec<RunObservations> {
+        (0..n)
+            .map(|i| {
+                let failing = i % 2 == 0;
+                RunObservations {
+                    failing,
+                    values: vec![(InstrId(1), if failing { 0 } else { 7 })],
+                    ..Default::default()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn always_on_finds_the_predictor_immediately() {
+        let truth = Predictor::Value {
+            stmt: InstrId(1),
+            value: 0,
+        };
+        let n = always_on_failing_runs_until_found(&runs(50), &truth, 0.5);
+        assert_eq!(n, Some(1), "first failing run suffices when always on");
+    }
+
+    #[test]
+    fn sampling_needs_more_recurrences_on_average() {
+        let truth = Predictor::Value {
+            stmt: InstrId(1),
+            value: 0,
+        };
+        let data = runs(400);
+        let always = always_on_failing_runs_until_found(&data, &truth, 0.5).unwrap();
+        let mut total = 0usize;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut iso = SamplingIsolator::new(20, seed);
+            // Count "not found in 400 runs" as the full failing-run count.
+            total += iso
+                .failing_runs_until_found(&data, &truth, 0.5)
+                .unwrap_or(200);
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(
+            avg > always as f64 * 2.0,
+            "sampling avg {avg} must lag always-on {always}"
+        );
+    }
+
+    #[test]
+    fn sampling_rate_one_equals_always_on() {
+        let truth = Predictor::Value {
+            stmt: InstrId(1),
+            value: 0,
+        };
+        let mut iso = SamplingIsolator::new(1, 3);
+        let a = iso.failing_runs_until_found(&runs(50), &truth, 0.5);
+        let b = always_on_failing_runs_until_found(&runs(50), &truth, 0.5);
+        assert_eq!(a, b);
+    }
+}

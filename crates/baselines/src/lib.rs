@@ -1,0 +1,32 @@
+//! Baselines and overhead models for the paper's comparisons.
+//!
+//! * [`rr`] — a working **record/replay** system standing in for Mozilla
+//!   rr (Fig. 13): it records every scheduling decision and architectural
+//!   event of a run, and can *replay* the run deterministically from the
+//!   log, verifying the event streams match. Its log volume versus Intel
+//!   PT's packet bytes is the measured basis of the Fig. 13 comparison.
+//! * [`swtrace`] — a **software control-flow tracer** standing in for the
+//!   paper's PIN-based Intel PT software simulator (§4: 10,518 lines of
+//!   C++; §6: "runtime performance overheads that range from 3× to
+//!   5,000×"): it produces the same trace as the PT hardware but charges
+//!   per-event software instrumentation costs.
+//! * [`cbi`] — a **sampling** bug-isolation baseline in the CBI/CCI
+//!   tradition (§7): predictors are observed with probability 1/N, which
+//!   multiplies the failure recurrences needed before the top predictor
+//!   stabilizes — the "root cause diagnosis latency" argument for Gist's
+//!   always-on tracking.
+//! * [`cost`] — the documented **overhead model** translating event
+//!   counters into slowdown percentages. Absolute percentages cannot
+//!   transfer from a simulator, so the constants are calibrated (see
+//!   `cost::CostModel`) and the *shape* — what grows with tracked slice
+//!   size, who beats whom by what magnitude — is what the benches assert.
+
+pub mod cbi;
+pub mod cost;
+pub mod rr;
+pub mod swtrace;
+
+pub use cbi::SamplingIsolator;
+pub use cost::CostModel;
+pub use rr::{RecordedRun, Recorder};
+pub use swtrace::SoftwareTracer;

@@ -1,0 +1,59 @@
+//! Offline-analysis benchmarks: the server-side work of Gist (Table 1's
+//! "offline analysis time" column): slicing, planning, and PT decoding.
+
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gist_bugbase::{all_bugs, bug_by_name};
+use gist_pt::{decoder, PtConfig, PtDriver, PtTracer};
+use gist_slicing::StaticSlicer;
+use gist_tracking::Planner;
+use gist_vm::Vm;
+use std::hint::black_box;
+
+fn bench_slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_slicing");
+    for bug in all_bugs() {
+        let (_, report) = bug.find_failure(500).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bug.name),
+            &(bug, report),
+            |b, (bug, report)| {
+                b.iter(|| {
+                    let slicer = StaticSlicer::new(&bug.program);
+                    black_box(slicer.compute(report.failing_stmt))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let bug = bug_by_name("apache-21287").unwrap();
+    let (_, report) = bug.find_failure(500).unwrap();
+    let slicer = StaticSlicer::new(&bug.program);
+    let slice = slicer.compute(report.failing_stmt);
+    c.bench_function("plan_instrumentation", |b| {
+        b.iter(|| {
+            let planner = Planner::new(&bug.program, slicer.ticfg());
+            black_box(planner.plan(&slice.ordered, 0))
+        })
+    });
+}
+
+fn bench_pt_decode(c: &mut Criterion) {
+    let bug = bug_by_name("curl-965").unwrap();
+    let mut tracer = PtTracer::new(&bug.program, PtDriver::always_on(), PtConfig::default());
+    let mut vm = Vm::new(&bug.program, bug.vm_config(1));
+    vm.run(&mut [&mut tracer]);
+    tracer.finish();
+    let traces = tracer.take_traces();
+    c.bench_function("pt_decode_full_run", |b| {
+        b.iter(|| black_box(decoder::decode(&bug.program, &traces).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_slicing, bench_planning, bench_pt_decode);
+criterion_main!(benches);

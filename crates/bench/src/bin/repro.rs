@@ -1,0 +1,113 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all                 # everything below, in order
+//! repro table1              # Table 1: sizes + latency per bug
+//! repro fig9                # accuracy per bug
+//! repro fig10               # technique contributions
+//! repro fig11               # overhead vs tracked slice size
+//! repro fig12               # initial σ tradeoff
+//! repro fig13               # rr vs Intel PT full tracing
+//! repro overhead            # §5.3 per-bug overhead breakdown
+//! repro swtrace             # §6 software-only tracing factors
+//! repro ablations           # design-decision ablations (DESIGN.md)
+//! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
+//! repro bugs                # list bug names
+//! ```
+
+use gist_bench::experiments;
+use gist_bench::format;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "table1" => table1(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "overhead" => overhead(),
+        "ablations" => println!("{}", gist_bench::ablations::ablations_text()),
+        "swtrace" => swtrace(),
+        "bugs" => bugs(),
+        "sketch" => {
+            let name = args.get(1).map(String::as_str).unwrap_or("pbzip2-1");
+            match experiments::sketch_for(name) {
+                Some(s) => println!("{s}"),
+                None => {
+                    eprintln!("unknown bug '{name}'; try `repro bugs`");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "all" => {
+            table1();
+            fig9();
+            fig10();
+            fig11();
+            fig12();
+            fig13();
+            overhead();
+            swtrace();
+            for name in ["pbzip2-1", "curl-965", "apache-21287"] {
+                println!("\n=== sketch {name} ===\n");
+                if let Some(s) = experiments::sketch_for(name) {
+                    println!("{s}");
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations sketch bugs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    let evals = experiments::table1();
+    println!("{}", format::table1_text(&evals));
+}
+
+fn fig9() {
+    let evals = experiments::table1();
+    println!("{}", format::fig9_text(&evals));
+}
+
+fn fig10() {
+    println!("{}", format::fig10_text(&experiments::fig10()));
+}
+
+fn fig11() {
+    println!("{}", format::fig11_text(&experiments::fig11(25)));
+}
+
+fn fig12() {
+    println!("{}", format::fig12_text(&experiments::fig12()));
+}
+
+fn fig13() {
+    println!("{}", format::fig13_text(&experiments::fig13(15)));
+}
+
+fn overhead() {
+    println!(
+        "{}",
+        format::overhead_text(&experiments::overhead_sigma2(30))
+    );
+}
+
+fn swtrace() {
+    println!("{}", format::swtrace_text(&experiments::swtrace_rows(10)));
+}
+
+fn bugs() {
+    for bug in gist_bugbase::all_bugs() {
+        println!(
+            "{:<18} {} {} (bug {}) — {:?}",
+            bug.name, bug.software, bug.version, bug.bug_id, bug.class
+        );
+    }
+}

@@ -1,0 +1,559 @@
+//! The four Apache httpd bugs of Table 1.
+//!
+//! * **#45605** (Apache-1, 2.2.9) — racy slot-index increment in the
+//!   request table leaves a slot NULL; serving it dereferences NULL.
+//! * **#25520** (Apache-2, 2.0.48) — `ap_buffered_log_writer` re-reads the
+//!   shared buffer length without holding the lock; a stale check lets the
+//!   write run past the buffer.
+//! * **#21287** (Apache-3, 2.0.48) — mod_mem_cache's
+//!   `decrement_refcount`: atomic decrement, then an unsynchronized
+//!   `if (!obj->refcount) cleanup()`; two threads can both observe zero
+//!   and double-free the cache object (Fig. 8).
+//! * **#21285** (Apache-4, 2.0.46) — unsynchronized idle-worker counter
+//!   updates lose increments; the scoreboard invariant check fails.
+
+use gist_vm::{SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+// ---------------------------------------------------------------------------
+// Apache-3 / bug #21287 (Fig. 8): non-atomic dec/check/free double free.
+// ---------------------------------------------------------------------------
+
+const PROGRAM_21287: &str = r#"
+; apache 2.0.48 mod_mem_cache (miniature) — decrement_refcount double free.
+global epilogue_ticks = 0
+global declock = 0
+global cache_hits = 0
+global cache_size = 0
+
+fn record_hit() {
+entry:
+  h = load $cache_hits              @ mod_mem_cache.c:310
+  h2 = add h, 1                     @ mod_mem_cache.c:311
+  store $cache_hits, h2             @ mod_mem_cache.c:312
+  ret                               @ mod_mem_cache.c:313
+}
+
+fn decrement_refcount(obj) {
+entry:
+  complete = gep obj, 1             @ mod_mem_cache.c:705
+  cv = load complete                @ mod_mem_cache.c:705
+  call record_hit()                 @ mod_mem_cache.c:706
+  lock $declock                     @ mod_mem_cache.c:708
+  rc = load obj                     @ mod_mem_cache.c:709
+  rc1 = sub rc, 1                   @ mod_mem_cache.c:709
+  store obj, rc1                    @ mod_mem_cache.c:709
+  unlock $declock                   @ mod_mem_cache.c:710
+  rc2 = load obj                    @ mod_mem_cache.c:712
+  z = cmp eq rc2, 0                 @ mod_mem_cache.c:712
+  condbr z, dofree, done            @ mod_mem_cache.c:712
+dofree:
+  free obj                          @ mod_mem_cache.c:713
+  br done                           @ mod_mem_cache.c:714
+done:
+  ret                               @ mod_mem_cache.c:716
+}
+
+fn main() {
+entry:
+  obj = alloc 2                     @ mod_mem_cache.c:900
+  store obj, 2                      @ mod_mem_cache.c:901
+  c = gep obj, 1                    @ mod_mem_cache.c:902
+  store c, 1                        @ mod_mem_cache.c:902
+  t1 = spawn decrement_refcount(obj) @ mod_mem_cache.c:910
+  t2 = spawn decrement_refcount(obj) @ mod_mem_cache.c:911
+  join t1                           @ mod_mem_cache.c:913
+  join t2                           @ mod_mem_cache.c:914
+  call epilogue_work()
+  ret                               @ mod_mem_cache.c:916
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config_21287(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.5 },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Apache #21287 (double free) bug spec.
+pub fn apache_3_21287() -> BugSpec {
+    BugSpec {
+        name: "apache-21287",
+        display: "Apache bug #21287",
+        software: "Apache httpd",
+        version: "2.0.48",
+        bug_id: "21287",
+        class: BugClass::Concurrency,
+        program: super::parse("apache-21287", PROGRAM_21287),
+        make_config: config_21287,
+        // Fig. 8's ideal sketch: the dec, the re-read check, and the free
+        // (in both threads they are the same statements).
+        ideal_lines: vec![
+            ("mod_mem_cache.c", 709),
+            ("mod_mem_cache.c", 712),
+            ("mod_mem_cache.c", 713),
+        ],
+        // Failing order: both decrements precede both zero-observations.
+        ideal_order_lines: vec![("mod_mem_cache.c", 709), ("mod_mem_cache.c", 712)],
+        root_cause_lines: vec![("mod_mem_cache.c", 709), ("mod_mem_cache.c", 713)],
+        prefer_loc: Some(("mod_mem_cache.c", 713)),
+        paper: PaperNumbers {
+            software_loc: 169_747,
+            slice_src: 354,
+            slice_instrs: 968,
+            ideal_src: 6,
+            ideal_instrs: 6,
+            gist_src: 8,
+            gist_instrs: 8,
+            recurrences: 3,
+            time_s: 257,
+            offline_s: 79,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Apache-1 / bug #45605: racy slot index leaves a NULL request slot.
+// ---------------------------------------------------------------------------
+
+const PROGRAM_45605: &str = r#"
+; apache 2.2.9 (miniature) — request table slot race.
+global epilogue_ticks = 0
+global reqtab[4] = [0, 0, 0, 0]
+global nslots = 0
+global served = 0
+
+fn handler(arg) {
+entry:
+  e = alloc 1                       @ worker.c:540
+  store e, arg                      @ worker.c:541
+  i = load $nslots                  @ worker.c:544
+  i2 = add i, 1                     @ worker.c:545
+  store $nslots, i2                 @ worker.c:546
+  a = gep $reqtab, i                @ worker.c:548
+  store a, e                        @ worker.c:548
+  ret                               @ worker.c:550
+}
+
+fn serve_all() {
+entry:
+  n = load $nslots                  @ worker.c:600
+  ok = cmp eq n, 2                  @ worker.c:601
+  assert ok, "request table corrupted" @ worker.c:601
+  j = const 0                       @ worker.c:602
+  br head                           @ worker.c:603
+head:
+  more = cmp lt j, n                @ worker.c:604
+  condbr more, body, exit           @ worker.c:604
+body:
+  a = gep $reqtab, j                @ worker.c:606
+  p = load a                        @ worker.c:606
+  v = load p                        @ worker.c:607
+  s = load $served                  @ worker.c:608
+  s2 = add s, v                     @ worker.c:608
+  store $served, s2                 @ worker.c:608
+  j = add j, 1                      @ worker.c:609
+  br head                           @ worker.c:610
+exit:
+  ret                               @ worker.c:612
+}
+
+fn main() {
+entry:
+  t1 = spawn handler(10)            @ worker.c:700
+  t2 = spawn handler(20)            @ worker.c:701
+  join t1                           @ worker.c:703
+  join t2                           @ worker.c:704
+  call serve_all()                  @ worker.c:706
+  out = load $served                @ worker.c:708
+  print out                         @ worker.c:708
+  call epilogue_work()
+  ret                               @ worker.c:710
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config_45605(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.6 },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Apache #45605 (NULL slot) bug spec.
+pub fn apache_1_45605() -> BugSpec {
+    BugSpec {
+        name: "apache-45605",
+        display: "Apache bug #45605",
+        software: "Apache httpd",
+        version: "2.2.9",
+        bug_id: "45605",
+        class: BugClass::Concurrency,
+        program: super::parse("apache-45605", PROGRAM_45605),
+        make_config: config_45605,
+        ideal_lines: vec![
+            ("worker.c", 544),
+            ("worker.c", 546),
+            ("worker.c", 600),
+            ("worker.c", 601),
+        ],
+        // Failing order: both handlers' index reads precede both updates
+        // (the lost update), leaving the counter short.
+        ideal_order_lines: vec![("worker.c", 544), ("worker.c", 546)],
+        root_cause_lines: vec![("worker.c", 544), ("worker.c", 546)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 224_533,
+            slice_src: 7,
+            slice_instrs: 23,
+            ideal_src: 8,
+            ideal_instrs: 23,
+            gist_src: 8,
+            gist_instrs: 23,
+            recurrences: 5,
+            time_s: 262,
+            offline_s: 88,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Apache-2 / bug #25520: buffered log writer stale-length overflow.
+// ---------------------------------------------------------------------------
+
+const PROGRAM_25520: &str = r#"
+; apache 2.0.48 (miniature) — ap_buffered_log_writer race.
+global epilogue_ticks = 0
+global logbuf[16] = [0]
+global loglen = 0
+global flushes = 0
+
+fn log_write(msg) {
+entry:
+  len = load $loglen                @ http_log.c:1340
+  sum = add len, 4                  @ http_log.c:1341
+  fits = cmp le sum, 16             @ http_log.c:1342
+  condbr fits, fit, flush           @ http_log.c:1342
+fit:
+  len2 = load $loglen               @ http_log.c:1345
+  dst = gep $logbuf, len2           @ http_log.c:1346
+  memset dst, msg, 4                @ http_log.c:1346
+  sum2 = add len2, 4                @ http_log.c:1347
+  store $loglen, sum2               @ http_log.c:1347
+  br done                          @ http_log.c:1348
+flush:
+  store $loglen, 0                  @ http_log.c:1351
+  f = load $flushes                 @ http_log.c:1352
+  f2 = add f, 1                     @ http_log.c:1352
+  store $flushes, f2                @ http_log.c:1352
+  br done                          @ http_log.c:1353
+done:
+  ret                               @ http_log.c:1355
+}
+
+fn writer(arg) {
+entry:
+  i = const 0                       @ http_log.c:1400
+  br head                          @ http_log.c:1401
+head:
+  call log_write(arg)               @ http_log.c:1403
+  i = add i, 1                      @ http_log.c:1404
+  more = cmp lt i, 3                @ http_log.c:1405
+  condbr more, head, exit           @ http_log.c:1405
+exit:
+  ret                               @ http_log.c:1407
+}
+
+fn main() {
+entry:
+  t1 = spawn writer(7)              @ http_log.c:1500
+  t2 = spawn writer(9)              @ http_log.c:1501
+  join t1                           @ http_log.c:1503
+  join t2                           @ http_log.c:1504
+  call epilogue_work()
+  ret                               @ http_log.c:1506
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config_25520(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random {
+            seed,
+            preempt: 0.55,
+        },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Apache #25520 (log buffer overflow) bug spec.
+pub fn apache_2_25520() -> BugSpec {
+    BugSpec {
+        name: "apache-25520",
+        display: "Apache bug #25520",
+        software: "Apache httpd",
+        version: "2.0.48",
+        bug_id: "25520",
+        class: BugClass::Concurrency,
+        program: super::parse("apache-25520", PROGRAM_25520),
+        make_config: config_25520,
+        ideal_lines: vec![
+            ("http_log.c", 1340),
+            ("http_log.c", 1342),
+            ("http_log.c", 1345),
+            ("http_log.c", 1346),
+            ("http_log.c", 1347),
+        ],
+        // Failing order: the stale check read, a remote full append, then
+        // the re-read that lands past the buffer.
+        ideal_order_lines: vec![
+            ("http_log.c", 1340),
+            ("http_log.c", 1347),
+            ("http_log.c", 1345),
+        ],
+        root_cause_lines: vec![("http_log.c", 1340), ("http_log.c", 1345)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 169_747,
+            slice_src: 35,
+            slice_instrs: 137,
+            ideal_src: 4,
+            ideal_instrs: 16,
+            gist_src: 4,
+            gist_instrs: 16,
+            recurrences: 4,
+            time_s: 233,
+            offline_s: 55,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Apache-4 / bug #21285: idle-worker counter lost updates.
+// ---------------------------------------------------------------------------
+
+const PROGRAM_21285: &str = r#"
+; apache 2.0.46 (miniature) — scoreboard idle counter race.
+global epilogue_ticks = 0
+global idle = 0
+global requests = 0
+
+fn busy_work() {
+entry:
+  r = load $requests                @ prefork.c:820
+  r2 = add r, 1                     @ prefork.c:821
+  store $requests, r2               @ prefork.c:822
+  ret                               @ prefork.c:823
+}
+
+fn worker(arg) {
+entry:
+  i = load $idle                    @ prefork.c:850
+  i1 = add i, 1                     @ prefork.c:851
+  store $idle, i1                   @ prefork.c:852
+  call busy_work()                  @ prefork.c:854
+  j = load $idle                    @ prefork.c:856
+  j1 = sub j, 1                     @ prefork.c:857
+  store $idle, j1                   @ prefork.c:858
+  ret                               @ prefork.c:860
+}
+
+fn main() {
+entry:
+  t1 = spawn worker(0)              @ prefork.c:900
+  t2 = spawn worker(0)              @ prefork.c:901
+  t3 = spawn worker(0)              @ prefork.c:902
+  join t1                           @ prefork.c:904
+  join t2                           @ prefork.c:905
+  join t3                           @ prefork.c:906
+  v = load $idle                    @ prefork.c:908
+  ok = cmp eq v, 0                  @ prefork.c:909
+  assert ok, "idle count corrupted" @ prefork.c:910
+  call epilogue_work()
+  ret                               @ prefork.c:912
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config_21285(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random {
+            seed,
+            preempt: 0.65,
+        },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Apache #21285 (idle counter) bug spec.
+pub fn apache_4_21285() -> BugSpec {
+    BugSpec {
+        name: "apache-21285",
+        display: "Apache bug #21285",
+        software: "Apache httpd",
+        version: "2.0.46",
+        bug_id: "21285",
+        class: BugClass::Concurrency,
+        program: super::parse("apache-21285", PROGRAM_21285),
+        make_config: config_21285,
+        ideal_lines: vec![
+            ("prefork.c", 850),
+            ("prefork.c", 852),
+            ("prefork.c", 856),
+            ("prefork.c", 858),
+            ("prefork.c", 908),
+            ("prefork.c", 910),
+        ],
+        // Failing order: two reads of the counter before either write.
+        ideal_order_lines: vec![("prefork.c", 850), ("prefork.c", 852)],
+        root_cause_lines: vec![("prefork.c", 850), ("prefork.c", 852)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 168_574,
+            slice_src: 335,
+            slice_instrs: 805,
+            ideal_src: 9,
+            ideal_instrs: 12,
+            gist_src: 13,
+            gist_instrs: 16,
+            recurrences: 4,
+            time_s: 334,
+            offline_s: 83,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::{FailureKind, RunOutcome, Vm};
+
+    #[test]
+    fn bug_21287_double_frees_or_uafs() {
+        let bug = apache_3_21287();
+        let mut kinds = Vec::new();
+        for seed in 0..150 {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            if let RunOutcome::Failed(r) = vm.run(&mut []).outcome {
+                kinds.push(r.kind.clone());
+            }
+        }
+        assert!(!kinds.is_empty(), "bug must manifest");
+        assert!(
+            kinds.iter().any(|k| matches!(
+                k,
+                FailureKind::DoubleFree { .. } | FailureKind::UseAfterFree { .. }
+            )),
+            "kinds: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn bug_45605_lost_update_corrupts_request_table() {
+        let bug = apache_1_45605();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        match &report.kind {
+            FailureKind::AssertFail { msg } => assert!(msg.contains("request table")),
+            k => panic!("expected assert failure, got {k:?}"),
+        }
+        let serve = bug.program.function_by_name("serve_all").unwrap();
+        assert_eq!(report.stack.first().map(|f| f.func), Some(serve.id));
+    }
+
+    #[test]
+    fn bug_25520_overflows_log_buffer() {
+        let bug = apache_2_25520();
+        let (_, report) = bug.find_failure(300).expect("manifests");
+        assert!(
+            matches!(report.kind, FailureKind::SegFault { .. }),
+            "{:?}",
+            report.kind
+        );
+    }
+
+    #[test]
+    fn bug_21285_assert_fires_on_lost_update() {
+        let bug = apache_4_21285();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        match &report.kind {
+            FailureKind::AssertFail { msg } => assert!(msg.contains("idle")),
+            k => panic!("expected assert, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn all_apache_bugs_also_succeed() {
+        for bug in [
+            apache_1_45605(),
+            apache_2_25520(),
+            apache_3_21287(),
+            apache_4_21285(),
+        ] {
+            let rate = bug.failure_rate(50);
+            assert!(rate < 0.9, "{}: rate {rate}", bug.name);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The two Cppcheck bugs of Table 1 — sequential, input-dependent crashes
+//! in a tokenizer/analyzer pipeline.
+//!
+//! * **#3238** (Cppcheck-1, 1.52) — simplifying an `if` token at the very
+//!   end of the token stream dereferences `tok->next` (NULL).
+//! * **#2782** (Cppcheck-2, 1.48) — a malformed array dimension drives an
+//!   unchecked index computation out of bounds.
+
+use gist_vm::{Input, SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM_3238: &str = r#"
+; cppcheck 1.52 (miniature) — tokenizer + if-simplification pass.
+global epilogue_ticks = 0
+global ntokens = 0
+global warnings = 0
+
+fn tokenize(input_base) {
+entry:
+  head = const 0                  @ tokenize.cpp:100
+  prev = const 0                  @ tokenize.cpp:101
+  i = const 0                     @ tokenize.cpp:102
+  br loop                        @ tokenize.cpp:103
+loop:
+  c1 = add input_base, i          @ tokenize.cpp:106
+  code = load c1                  @ tokenize.cpp:106
+  done = cmp eq code, 0           @ tokenize.cpp:107
+  condbr done, out, make          @ tokenize.cpp:107
+make:
+  node = alloc 2                  @ tokenize.cpp:109
+  store node, code                @ tokenize.cpp:110
+  n = gep node, 1                 @ tokenize.cpp:111
+  store n, 0                      @ tokenize.cpp:111
+  isfirst = cmp eq prev, 0        @ tokenize.cpp:113
+  condbr isfirst, sethead, link   @ tokenize.cpp:113
+sethead:
+  head = add node, 0              @ tokenize.cpp:114
+  br advance                     @ tokenize.cpp:115
+link:
+  pn = gep prev, 1                @ tokenize.cpp:117
+  store pn, node                  @ tokenize.cpp:117
+  br advance                     @ tokenize.cpp:118
+advance:
+  prev = add node, 0              @ tokenize.cpp:120
+  i = add i, 1                    @ tokenize.cpp:121
+  t = load $ntokens               @ tokenize.cpp:122
+  t2 = add t, 1                   @ tokenize.cpp:122
+  store $ntokens, t2              @ tokenize.cpp:122
+  br loop                        @ tokenize.cpp:123
+out:
+  ret head                        @ tokenize.cpp:125
+}
+
+fn simplify_if(tok) {
+entry:
+  code = load tok                 @ tokenize.cpp:3200
+  isif = cmp eq code, 5           @ tokenize.cpp:3201
+  condbr isif, dosimplify, done   @ tokenize.cpp:3201
+dosimplify:
+  na = gep tok, 1                 @ tokenize.cpp:3203
+  nx = load na                    @ tokenize.cpp:3203
+  nxcode = load nx                @ tokenize.cpp:3205
+  paren = cmp eq nxcode, 2        @ tokenize.cpp:3206
+  condbr paren, strip, done       @ tokenize.cpp:3206
+strip:
+  w = load $warnings              @ tokenize.cpp:3208
+  w2 = add w, 1                   @ tokenize.cpp:3208
+  store $warnings, w2             @ tokenize.cpp:3208
+  br done                        @ tokenize.cpp:3209
+done:
+  ret                             @ tokenize.cpp:3211
+}
+
+fn simplify_all(head) {
+entry:
+  cur = add head, 0               @ tokenize.cpp:3300
+  br loop                        @ tokenize.cpp:3301
+loop:
+  isnull = cmp eq cur, 0          @ tokenize.cpp:3303
+  condbr isnull, out, body        @ tokenize.cpp:3303
+body:
+  call simplify_if(cur)           @ tokenize.cpp:3305
+  na = gep cur, 1                 @ tokenize.cpp:3306
+  cur = load na                   @ tokenize.cpp:3306
+  br loop                        @ tokenize.cpp:3307
+out:
+  ret                             @ tokenize.cpp:3309
+}
+
+fn main() {
+entry:
+  src = input 0                   @ main.cpp:50
+  head = call tokenize(src)       @ main.cpp:55
+  call simplify_all(head)         @ main.cpp:58
+  w = load $warnings              @ main.cpp:60
+  print w                         @ main.cpp:60
+  call epilogue_work()
+  ret                             @ main.cpp:62
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+/// Token codes: 1=ident, 2=lparen, 3=rparen, 4=semi, 5=if.
+fn config_3238(seed: u64) -> VmConfig {
+    // One in four runs ends the token stream with a dangling `if`.
+    let tokens: Vec<i64> = match seed % 4 {
+        0 => vec![1, 4, 5],       // `x ; if` — if at end: tok->next NULL
+        1 => vec![5, 2, 1, 3, 4], // `if ( x ) ;`
+        2 => vec![1, 1, 4],       // plain statements
+        _ => vec![5, 2, 3, 4, 1], // `if ( ) ; x`
+    };
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.1 },
+        inputs: vec![Input::Str(tokens)],
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Cppcheck #3238 bug spec.
+pub fn cppcheck_1_3238() -> BugSpec {
+    BugSpec {
+        name: "cppcheck-3238",
+        display: "Cppcheck bug #3238",
+        software: "Cppcheck",
+        version: "1.52",
+        bug_id: "3238",
+        class: BugClass::Sequential,
+        program: super::parse("cppcheck-3238", PROGRAM_3238),
+        make_config: config_3238,
+        ideal_lines: vec![
+            ("main.cpp", 55),
+            ("main.cpp", 58),
+            ("tokenize.cpp", 106),
+            ("tokenize.cpp", 107),
+            ("tokenize.cpp", 109),
+            ("tokenize.cpp", 110),
+            ("tokenize.cpp", 111),
+            ("tokenize.cpp", 113),
+            ("tokenize.cpp", 117),
+            ("tokenize.cpp", 120),
+            ("tokenize.cpp", 121),
+            ("tokenize.cpp", 3303),
+            ("tokenize.cpp", 3305),
+            ("tokenize.cpp", 3306),
+            ("tokenize.cpp", 3200),
+            ("tokenize.cpp", 3201),
+            ("tokenize.cpp", 3203),
+            ("tokenize.cpp", 3205),
+        ],
+        // Data flow: the NULL next pointer is written at token creation
+        // and read in the simplifier.
+        ideal_order_lines: vec![("tokenize.cpp", 111), ("tokenize.cpp", 3203)],
+        root_cause_lines: vec![("tokenize.cpp", 3203), ("tokenize.cpp", 3205)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 86_215,
+            slice_src: 3_662,
+            slice_instrs: 10_640,
+            ideal_src: 11,
+            ideal_instrs: 16,
+            gist_src: 11,
+            gist_instrs: 16,
+            recurrences: 4,
+            time_s: 314,
+            offline_s: 152,
+        },
+    }
+}
+
+const PROGRAM_2782: &str = r#"
+; cppcheck 1.48 (miniature) — array-dimension analysis with unchecked index.
+global epilogue_ticks = 0
+global arrays_checked = 0
+
+fn check_array(dims_base, count) {
+entry:
+  sizes = alloc 4                 @ checkbufferoverrun.cpp:400
+  i = const 0                     @ checkbufferoverrun.cpp:401
+  br loop                        @ checkbufferoverrun.cpp:402
+loop:
+  more = cmp lt i, count          @ checkbufferoverrun.cpp:404
+  condbr more, body, out          @ checkbufferoverrun.cpp:404
+body:
+  da = add dims_base, i           @ checkbufferoverrun.cpp:406
+  d = load da                     @ checkbufferoverrun.cpp:406
+  sa = gep sizes, i               @ checkbufferoverrun.cpp:408
+  store sa, d                     @ checkbufferoverrun.cpp:408
+  i = add i, 1                    @ checkbufferoverrun.cpp:409
+  br loop                        @ checkbufferoverrun.cpp:410
+out:
+  n = load $arrays_checked        @ checkbufferoverrun.cpp:412
+  n2 = add n, 1                   @ checkbufferoverrun.cpp:412
+  store $arrays_checked, n2       @ checkbufferoverrun.cpp:412
+  ret sizes                       @ checkbufferoverrun.cpp:414
+}
+
+fn main() {
+entry:
+  dims = input 0                  @ main.cpp:40
+  ndims = input 1                 @ main.cpp:41
+  s = call check_array(dims, ndims) @ main.cpp:45
+  first = load s                  @ main.cpp:47
+  print first                     @ main.cpp:47
+  call epilogue_work()
+  ret                             @ main.cpp:49
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+/// The sizes scratch buffer holds 4 entries; malformed inputs declare more
+/// dimensions than that and the copy loop runs off the end.
+fn config_2782(seed: u64) -> VmConfig {
+    let (dims, ndims): (Vec<i64>, i64) = match seed % 4 {
+        0 => (vec![8, 8, 8, 8, 8, 8], 6), // malformed: 6 dimensions
+        1 => (vec![16], 1),
+        2 => (vec![4, 4], 2),
+        _ => (vec![2, 2, 2], 3),
+    };
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.1 },
+        inputs: vec![Input::Str(dims), Input::Scalar(ndims)],
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Cppcheck #2782 bug spec.
+pub fn cppcheck_2_2782() -> BugSpec {
+    BugSpec {
+        name: "cppcheck-2782",
+        display: "Cppcheck bug #2782",
+        software: "Cppcheck",
+        version: "1.48",
+        bug_id: "2782",
+        class: BugClass::Sequential,
+        program: super::parse("cppcheck-2782", PROGRAM_2782),
+        make_config: config_2782,
+        ideal_lines: vec![
+            ("main.cpp", 40),
+            ("main.cpp", 41),
+            ("main.cpp", 45),
+            ("checkbufferoverrun.cpp", 400),
+            ("checkbufferoverrun.cpp", 401),
+            ("checkbufferoverrun.cpp", 404),
+            ("checkbufferoverrun.cpp", 406),
+            ("checkbufferoverrun.cpp", 408),
+            ("checkbufferoverrun.cpp", 409),
+        ],
+        ideal_order_lines: vec![
+            ("checkbufferoverrun.cpp", 400),
+            ("checkbufferoverrun.cpp", 408),
+        ],
+        root_cause_lines: vec![
+            ("checkbufferoverrun.cpp", 404),
+            ("checkbufferoverrun.cpp", 408),
+        ],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 76_009,
+            slice_src: 3_028,
+            slice_instrs: 8_831,
+            ideal_src: 3,
+            ideal_instrs: 8,
+            gist_src: 3,
+            gist_instrs: 8,
+            recurrences: 3,
+            time_s: 201,
+            offline_s: 100,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::{FailureKind, RunOutcome, Vm};
+
+    #[test]
+    fn bug_3238_dangling_if_segfaults() {
+        let bug = cppcheck_1_3238();
+        let (seed, report) = bug.find_failure(8).expect("seed 0 fails");
+        assert_eq!(seed % 4, 0);
+        assert!(matches!(report.kind, FailureKind::SegFault { addr: 0 }));
+        let f = bug.program.function_by_name("simplify_if").unwrap();
+        assert_eq!(report.stack.first().map(|fr| fr.func), Some(f.id));
+    }
+
+    #[test]
+    fn bug_3238_wellformed_inputs_pass() {
+        let bug = cppcheck_1_3238();
+        for seed in [1u64, 2, 3, 5] {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            assert!(matches!(vm.run(&mut []).outcome, RunOutcome::Finished));
+        }
+    }
+
+    #[test]
+    fn bug_2782_overruns_scratch_buffer() {
+        let bug = cppcheck_2_2782();
+        let (seed, report) = bug.find_failure(8).expect("seed 0 fails");
+        assert_eq!(seed % 4, 0);
+        assert!(
+            matches!(report.kind, FailureKind::SegFault { .. }),
+            "{:?}",
+            report.kind
+        );
+        let f = bug.program.function_by_name("check_array").unwrap();
+        assert_eq!(report.stack.first().map(|fr| fr.func), Some(f.id));
+    }
+
+    #[test]
+    fn bug_2782_valid_dimensions_pass() {
+        let bug = cppcheck_2_2782();
+        for seed in [1u64, 2, 3] {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            assert!(matches!(vm.run(&mut []).outcome, RunOutcome::Finished));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Curl bug #965 (Fig. 7) — a sequential, data-dependent failure.
+//!
+//! "Passing the string `{}{` (or any other string with unbalanced curly
+//! braces) to Curl causes the variable `urls->current` in function
+//! `next_url` to be NULL"; `strlen(urls->current)` then segfaults.
+//! Developers fixed it by rejecting unbalanced braces in the input URL.
+
+use gist_vm::{Input, SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM: &str = r#"
+; curl 7.21 (miniature) — URL glob parsing + transfer loop.
+global epilogue_ticks = 0
+global stats_requests = 0
+global stats_bytes = 0
+global max_redirects = 0
+
+fn init_config() {
+entry:
+  r = const 50                       @ tool_cfgable.c:80
+  store $max_redirects, r            @ tool_cfgable.c:81
+  ret r                              @ tool_cfgable.c:82
+}
+
+fn count_depth(s) {
+entry:
+  i = const 0                        @ tool_urlglob.c:201
+  depth = const 0                    @ tool_urlglob.c:202
+  br head                            @ tool_urlglob.c:203
+head:
+  ca = add s, i                      @ tool_urlglob.c:205
+  ch = load ca                       @ tool_urlglob.c:205
+  done = cmp eq ch, 0                @ tool_urlglob.c:206
+  condbr done, out, body             @ tool_urlglob.c:206
+body:
+  isopen = cmp eq ch, 123            @ tool_urlglob.c:208
+  condbr isopen, open, checkclose    @ tool_urlglob.c:208
+open:
+  depth = add depth, 1               @ tool_urlglob.c:209
+  br next                            @ tool_urlglob.c:209
+checkclose:
+  isclose = cmp eq ch, 125           @ tool_urlglob.c:211
+  condbr isclose, close, next        @ tool_urlglob.c:211
+close:
+  depth = sub depth, 1               @ tool_urlglob.c:212
+  br next                            @ tool_urlglob.c:212
+next:
+  i = add i, 1                       @ tool_urlglob.c:214
+  br head                            @ tool_urlglob.c:215
+out:
+  ret depth                          @ tool_urlglob.c:217
+}
+
+fn glob_url(u, s) {
+entry:
+  depth = call count_depth(s)        @ tool_urlglob.c:240
+  bal = cmp eq depth, 0              @ tool_urlglob.c:242
+  condbr bal, ok, unbalanced         @ tool_urlglob.c:242
+ok:
+  store u, s                         @ tool_urlglob.c:244
+  br done                            @ tool_urlglob.c:245
+unbalanced:
+  store u, 0                         @ tool_urlglob.c:247
+  br done                            @ tool_urlglob.c:248
+done:
+  ret                                @ tool_urlglob.c:250
+}
+
+fn next_url(u) {
+entry:
+  cur = load u                       @ tool_urlglob.c:312
+  len = strlen cur                   @ tool_urlglob.c:313
+  ret len                            @ tool_urlglob.c:314
+}
+
+fn operate(u) {
+entry:
+  i = const 0                        @ tool_operate.c:210
+  br head                            @ tool_operate.c:211
+head:
+  len = call next_url(u)             @ tool_operate.c:213
+  n = load $stats_requests           @ tool_operate.c:215
+  n2 = add n, 1                      @ tool_operate.c:215
+  store $stats_requests, n2          @ tool_operate.c:215
+  b = load $stats_bytes              @ tool_operate.c:216
+  b2 = add b, len                    @ tool_operate.c:216
+  store $stats_bytes, b2             @ tool_operate.c:216
+  i = add i, 1                       @ tool_operate.c:217
+  more = cmp lt i, 2                 @ tool_operate.c:218
+  condbr more, head, exit            @ tool_operate.c:218
+exit:
+  ret i                              @ tool_operate.c:220
+}
+
+fn main() {
+entry:
+  c = call init_config()             @ tool_main.c:100
+  url = input 0                      @ tool_main.c:112
+  u = alloc 1                        @ tool_main.c:118
+  call glob_url(u, url)              @ tool_main.c:121
+  r = call operate(u)                @ tool_main.c:127
+  print r                            @ tool_main.c:129
+  call epilogue_work()
+  ret                                @ tool_main.c:131
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+/// Workload: one in three runs receives an unbalanced-brace URL (the
+/// failing input of the bug report); the rest get balanced URLs.
+fn config(seed: u64) -> VmConfig {
+    let url = match seed % 3 {
+        0 => "{}{",
+        1 => "http://x/{a}",
+        _ => "http://example.org/",
+    };
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.1 },
+        inputs: vec![Input::str_from(url)],
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the curl #965 bug spec.
+pub fn curl_965() -> BugSpec {
+    BugSpec {
+        name: "curl-965",
+        display: "Curl bug #965",
+        software: "Curl",
+        version: "7.21",
+        bug_id: "965",
+        class: BugClass::Sequential,
+        program: super::parse("curl", PROGRAM),
+        make_config: config,
+        // Fig. 7's ideal sketch shows only `operate` and `next_url`: the
+        // loop, the call, and next_url's load + strlen. The root cause (a
+        // bad input) is conveyed by the *value* predictors — `url` is
+        // "{}{" and `urls->current` is 0 — exactly as in the paper, where
+        // the fix was to reject unbalanced braces in the input.
+        ideal_lines: vec![
+            ("tool_main.c", 118),
+            ("tool_main.c", 127),
+            ("tool_operate.c", 210),
+            ("tool_operate.c", 213),
+            ("tool_urlglob.c", 312),
+            ("tool_urlglob.c", 313),
+        ],
+        // Data flow in failing runs: the NULL current pointer is read just
+        // before the crashing strlen.
+        ideal_order_lines: vec![("tool_urlglob.c", 312)],
+        root_cause_lines: vec![("tool_urlglob.c", 312), ("tool_urlglob.c", 313)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 81_658,
+            slice_src: 15,
+            slice_instrs: 46,
+            ideal_src: 6,
+            ideal_instrs: 17,
+            gist_src: 6,
+            gist_instrs: 17,
+            recurrences: 5,
+            time_s: 91,
+            offline_s: 40,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::{FailureKind, RunOutcome, Vm};
+
+    #[test]
+    fn unbalanced_input_segfaults_in_next_url() {
+        let bug = curl_965();
+        let (seed, report) = bug.find_failure(10).expect("seed 0 is unbalanced");
+        assert_eq!(seed % 3, 0, "failing seeds are the unbalanced ones");
+        assert!(matches!(report.kind, FailureKind::SegFault { addr: 0 }));
+        let next_url = bug.program.function_by_name("next_url").unwrap();
+        assert_eq!(report.stack.first().map(|f| f.func), Some(next_url.id));
+    }
+
+    #[test]
+    fn balanced_inputs_succeed() {
+        let bug = curl_965();
+        for seed in [1u64, 2, 4, 5] {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            let r = vm.run(&mut []);
+            assert!(
+                matches!(r.outcome, RunOutcome::Finished),
+                "seed {seed}: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn failure_is_deterministic_per_input() {
+        let bug = curl_965();
+        // Sequential bug: same input class always fails.
+        for seed in [0u64, 3, 6, 9] {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            assert!(matches!(vm.run(&mut []).outcome, RunOutcome::Failed(_)));
+        }
+    }
+}

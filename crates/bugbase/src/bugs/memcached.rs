@@ -1,0 +1,159 @@
+//! Memcached bug #127 (1.4.4) — an item-refcount race: one connection
+//! releases the item (refcount reaches zero, the item is freed) while
+//! another connection still reads the item's data: use after free.
+
+use gist_vm::{SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM: &str = r#"
+; memcached 1.4.4 (miniature) — item refcount release vs concurrent read.
+global epilogue_ticks = 0
+global get_hits = 0
+global evictions = 0
+
+fn stats_hit() {
+entry:
+  h = load $get_hits              @ thread.c:80
+  h2 = add h, 1                   @ thread.c:81
+  store $get_hits, h2             @ thread.c:82
+  ret                             @ thread.c:83
+}
+
+fn item_release(it) {
+entry:
+  rc = load it                    @ items.c:240
+  rc1 = sub rc, 1                 @ items.c:241
+  store it, rc1                   @ items.c:242
+  z = cmp eq rc1, 0               @ items.c:244
+  condbr z, dofree, out           @ items.c:244
+dofree:
+  fa = gep it, 1                  @ items.c:245
+  store fa, 0                     @ items.c:246
+  e = load $evictions             @ items.c:247
+  e2 = add e, 1                   @ items.c:247
+  store $evictions, e2            @ items.c:247
+  h = load $get_hits              @ items.c:248
+  h2 = add h, 0                   @ items.c:248
+  store $get_hits, h2             @ items.c:248
+  free it                         @ items.c:249
+  br out                         @ items.c:250
+out:
+  ret                             @ items.c:252
+}
+
+fn conn_get(it) {
+entry:
+  call stats_hit()                @ memcached.c:1410
+  fa = gep it, 1                  @ memcached.c:1411
+  flags = load fa                 @ memcached.c:1412
+  da = gep it, 2                  @ memcached.c:1413
+  d = load da                     @ memcached.c:1413
+  out = add flags, d              @ memcached.c:1414
+  print out                       @ memcached.c:1414
+  ret                             @ memcached.c:1416
+}
+
+fn main() {
+entry:
+  it = alloc 3                    @ items.c:300
+  store it, 1                     @ items.c:301
+  fa = gep it, 1                  @ items.c:302
+  store fa, 1                     @ items.c:302
+  da = gep it, 2                  @ items.c:303
+  store da, 99                    @ items.c:303
+  t1 = spawn item_release(it)     @ memcached.c:1500
+  t2 = spawn conn_get(it)         @ memcached.c:1501
+  join t1                         @ memcached.c:1503
+  join t2                         @ memcached.c:1504
+  call epilogue_work()
+  ret                             @ memcached.c:1506
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.5 },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Memcached #127 bug spec.
+pub fn memcached_127() -> BugSpec {
+    BugSpec {
+        name: "memcached-127",
+        display: "Memcached bug #127",
+        software: "Memcached",
+        version: "1.4.4",
+        bug_id: "127",
+        class: BugClass::Concurrency,
+        program: super::parse("memcached-127", PROGRAM),
+        make_config: config,
+        ideal_lines: vec![
+            ("items.c", 300),
+            ("memcached.c", 1501),
+            ("memcached.c", 1411),
+            ("memcached.c", 1412),
+            ("items.c", 246),
+        ],
+        // Failing order: the unlink's flag clear precedes the
+        // connection's crashing flags read.
+        ideal_order_lines: vec![("items.c", 246), ("memcached.c", 1412)],
+        root_cause_lines: vec![("items.c", 246), ("memcached.c", 1412)],
+        prefer_loc: Some(("memcached.c", 1412)),
+        paper: PaperNumbers {
+            software_loc: 8_182,
+            slice_src: 237,
+            slice_instrs: 1_003,
+            ideal_src: 6,
+            ideal_instrs: 13,
+            gist_src: 8,
+            gist_instrs: 16,
+            recurrences: 4,
+            time_s: 56,
+            offline_s: 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::FailureKind;
+
+    #[test]
+    fn release_during_get_is_use_after_free() {
+        let bug = memcached_127();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        assert!(
+            matches!(report.kind, FailureKind::UseAfterFree { .. }),
+            "{:?}",
+            report.kind
+        );
+        let f = bug.program.function_by_name("conn_get").unwrap();
+        assert_eq!(report.stack.first().map(|fr| fr.func), Some(f.id));
+    }
+
+    #[test]
+    fn rate_is_schedule_dependent() {
+        let bug = memcached_127();
+        let rate = bug.failure_rate(60);
+        assert!(rate > 0.02 && rate < 0.98, "rate {rate}");
+    }
+}

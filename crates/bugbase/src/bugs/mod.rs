@@ -1,0 +1,21 @@
+//! The 11 evaluation bugs, one module per software system.
+
+pub mod apache;
+pub mod cppcheck;
+pub mod curl;
+pub mod memcached;
+pub mod pbzip2;
+pub mod sqlite;
+pub mod transmission;
+
+use gist_ir::parser::parse_program;
+use gist_ir::Program;
+
+/// Parses a bug program, panicking with context on error (bug programs are
+/// compiled-in constants; a parse error is a bug in bugbase itself).
+pub(crate) fn parse(name: &str, text: &str) -> Program {
+    match parse_program(name, text) {
+        Ok(p) => p,
+        Err(e) => panic!("bugbase program {name} failed to parse: {e}"),
+    }
+}

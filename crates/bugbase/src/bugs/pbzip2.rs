@@ -1,0 +1,193 @@
+//! Pbzip2 bug #1 — the paper's running example (Fig. 1).
+//!
+//! "main frees f->mut and sets it to NULL while the consumer thread may
+//! still be using it"; in failing runs the store of NULL happens before
+//! the consumer's use, and the consumer crashes unlocking a NULL mutex.
+//! Pbzip2 developers fixed it by introducing proper synchronization —
+//! four months after the report.
+
+use gist_vm::{SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM: &str = r#"
+; pbzip2 0.9.4 (miniature) — producer/consumer FIFO with premature cleanup.
+global epilogue_ticks = 0
+global blocks_done = 0
+global verbosity = 0
+global files_processed = 0
+
+fn init_config() {
+entry:
+  v = const 1                   @ pbzip2.cpp:120
+  store $verbosity, v           @ pbzip2.cpp:121
+  ret v                         @ pbzip2.cpp:122
+}
+
+fn log_progress(n) {
+entry:
+  d = load $blocks_done         @ pbzip2.cpp:200
+  d2 = add d, n                 @ pbzip2.cpp:201
+  store $blocks_done, d2        @ pbzip2.cpp:202
+  ret                           @ pbzip2.cpp:203
+}
+
+fn queue_init(size) {
+entry:
+  q = alloc 3                   @ pbzip2.cpp:431
+  m = alloc 1                   @ pbzip2.cpp:432
+  store q, m                    @ pbzip2.cpp:433
+  ca = gep q, 1                 @ pbzip2.cpp:434
+  store ca, size                @ pbzip2.cpp:434
+  da = gep q, 2                 @ pbzip2.cpp:435
+  store da, 0                   @ pbzip2.cpp:435
+  ret q                         @ pbzip2.cpp:436
+}
+
+fn consumer(f) {
+entry:
+  m = load f                    @ pbzip2.cpp:888
+  lock m                        @ pbzip2.cpp:889
+  ca = gep f, 1                 @ pbzip2.cpp:890
+  cnt = load ca                 @ pbzip2.cpp:890
+  cnt2 = sub cnt, 1             @ pbzip2.cpp:891
+  store ca, cnt2                @ pbzip2.cpp:891
+  unlock m                      @ pbzip2.cpp:893
+  call log_progress(1)          @ pbzip2.cpp:894
+  ret                           @ pbzip2.cpp:897
+}
+
+fn main() {
+entry:
+  c = call init_config()        @ pbzip2.cpp:1001
+  q = call queue_init(2)        @ pbzip2.cpp:1010
+  t = spawn consumer(q)         @ pbzip2.cpp:1024
+  fp = load $files_processed    @ pbzip2.cpp:1050
+  fp2 = add fp, 1               @ pbzip2.cpp:1051
+  store $files_processed, fp2   @ pbzip2.cpp:1052
+  m2 = load q                   @ pbzip2.cpp:1093
+  free m2                       @ pbzip2.cpp:1094
+  store q, 0                    @ pbzip2.cpp:1095
+  join t                        @ pbzip2.cpp:1098
+  call epilogue_work()
+  ret                           @ pbzip2.cpp:1100
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random {
+            seed,
+            preempt: 0.55,
+        },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the pbzip2 #1 bug spec.
+pub fn pbzip2_1() -> BugSpec {
+    BugSpec {
+        name: "pbzip2-1",
+        display: "Pbzip2 bug #1",
+        software: "Pbzip2",
+        version: "0.9.4",
+        bug_id: "N/A",
+        class: BugClass::Concurrency,
+        program: super::parse("pbzip2", PROGRAM),
+        make_config: config,
+        // Fig. 1's ideal sketch: the queue's creation (the statements with
+        // data dependencies to f->mut), the spawn, main's free and NULL
+        // store, and the consumer's mutex load and use.
+        ideal_lines: vec![
+            ("pbzip2.cpp", 431),
+            ("pbzip2.cpp", 436),
+            ("pbzip2.cpp", 1010),
+            ("pbzip2.cpp", 1024),
+            ("pbzip2.cpp", 1093),
+            ("pbzip2.cpp", 1094),
+            ("pbzip2.cpp", 1095),
+            ("pbzip2.cpp", 888),
+            ("pbzip2.cpp", 889),
+        ],
+        // In every failing schedule main's free of the mutex precedes the
+        // consumer's crashing lock (the arrow of Fig. 1).
+        ideal_order_lines: vec![("pbzip2.cpp", 1094), ("pbzip2.cpp", 889)],
+        root_cause_lines: vec![("pbzip2.cpp", 1094), ("pbzip2.cpp", 1095)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 1_492,
+            slice_src: 8,
+            slice_instrs: 14,
+            ideal_src: 6,
+            ideal_instrs: 13,
+            gist_src: 9,
+            gist_instrs: 14,
+            recurrences: 4,
+            time_s: 72,
+            offline_s: 3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::{FailureKind, RunOutcome, Vm};
+
+    #[test]
+    fn crashes_with_segfault_or_uaf_in_consumer() {
+        let bug = pbzip2_1();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        assert!(
+            matches!(
+                report.kind,
+                FailureKind::SegFault { .. } | FailureKind::UseAfterFree { .. }
+            ),
+            "kind: {:?}",
+            report.kind
+        );
+        // Crash is in the consumer (thread > 0).
+        assert!(report.tid > 0, "crash must be in the consumer thread");
+        let cons = bug.program.function_by_name("consumer").unwrap();
+        assert_eq!(report.stack.first().map(|f| f.func), Some(cons.id));
+    }
+
+    #[test]
+    fn successful_runs_consume_both_blocks() {
+        let bug = pbzip2_1();
+        let mut succeeded = false;
+        for seed in 0..100 {
+            let mut vm = Vm::new(&bug.program, bug.vm_config(seed));
+            if matches!(vm.run(&mut []).outcome, RunOutcome::Finished) {
+                succeeded = true;
+                break;
+            }
+        }
+        assert!(succeeded);
+    }
+
+    #[test]
+    fn ideal_sketch_matches_fig1_shape() {
+        let bug = pbzip2_1();
+        let ideal = bug.ideal_sketch();
+        // Fig 1 ideally shows 9 statements in our line mapping.
+        assert_eq!(ideal.stmts.len(), 9, "{:?}", ideal.stmts);
+        assert_eq!(ideal.access_order.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! SQLite bug #1672 (3.3.3) — a race in the custom thread test harness:
+//! the worker publishes its completion flag *before* writing the result,
+//! so the main thread can observe `done == 1` and read a result that is
+//! not there yet.
+
+use gist_vm::{SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM: &str = r#"
+; sqlite 3.3.3 (miniature) — test harness completion-flag race.
+global epilogue_ticks = 0
+global ops = 0
+global pages_cached = 0
+
+fn compute(n) {
+entry:
+  o = load $ops                  @ test4.c:120
+  o2 = add o, 1                  @ test4.c:121
+  store $ops, o2                 @ test4.c:122
+  r = mul n, 2                   @ test4.c:123
+  ret r                          @ test4.c:124
+}
+
+fn warm_cache() {
+entry:
+  i = const 0                    @ pager.c:50
+  br head                       @ pager.c:51
+head:
+  c = load $pages_cached         @ pager.c:53
+  c2 = add c, 1                  @ pager.c:53
+  store $pages_cached, c2        @ pager.c:53
+  i = add i, 1                   @ pager.c:54
+  more = cmp lt i, 3             @ pager.c:55
+  condbr more, head, exit        @ pager.c:55
+exit:
+  ret                            @ pager.c:57
+}
+
+fn worker(s) {
+entry:
+  r = call compute(21)           @ test4.c:210
+  store s, 1                     @ test4.c:214
+  ra = gep s, 1                  @ test4.c:216
+  store ra, r                    @ test4.c:216
+  ret                            @ test4.c:218
+}
+
+fn main() {
+entry:
+  call warm_cache()              @ test4.c:298
+  s = alloc 2                    @ test4.c:300
+  store s, 0                     @ test4.c:301
+  ra = gep s, 1                  @ test4.c:302
+  store ra, 0                    @ test4.c:302
+  t = spawn worker(s)            @ test4.c:305
+  br spin                       @ test4.c:306
+spin:
+  d = load s                     @ test4.c:308
+  ready = cmp eq d, 1            @ test4.c:308
+  condbr ready, readres, spin    @ test4.c:308
+readres:
+  r = load ra                    @ test4.c:311
+  ok = cmp eq r, 42              @ test4.c:312
+  assert ok, "thread result"     @ test4.c:312
+  join t                         @ test4.c:314
+  call epilogue_work()
+  ret                            @ test4.c:316
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.5 },
+        num_cores: 4,
+        max_steps: 50_000,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the SQLite #1672 bug spec.
+pub fn sqlite_1672() -> BugSpec {
+    BugSpec {
+        name: "sqlite-1672",
+        display: "SQLite bug #1672",
+        software: "SQLite",
+        version: "3.3.3",
+        bug_id: "1672",
+        class: BugClass::Concurrency,
+        program: super::parse("sqlite-1672", PROGRAM),
+        make_config: config,
+        // Matching the paper's tiny SQLite ideal sketch (3 source lines,
+        // 4 instructions): the worker's late result store, the premature
+        // result read, and the failing check.
+        ideal_lines: vec![("test4.c", 216), ("test4.c", 311), ("test4.c", 312)],
+        // Failing order: main reads the result *before* the worker's store.
+        ideal_order_lines: vec![("test4.c", 311), ("test4.c", 216)],
+        root_cause_lines: vec![("test4.c", 216), ("test4.c", 311)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 47_150,
+            slice_src: 389,
+            slice_instrs: 1_011,
+            ideal_src: 3,
+            ideal_instrs: 4,
+            gist_src: 3,
+            gist_instrs: 4,
+            recurrences: 2,
+            time_s: 167,
+            offline_s: 103,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::FailureKind;
+
+    #[test]
+    fn early_flag_publish_fails_result_assert() {
+        let bug = sqlite_1672();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        match &report.kind {
+            FailureKind::AssertFail { msg } => assert!(msg.contains("result")),
+            k => panic!("expected assert failure, got {k:?}"),
+        }
+        // The failure is observed by the main thread.
+        assert_eq!(report.tid, 0);
+    }
+
+    #[test]
+    fn correct_order_succeeds_often() {
+        let bug = sqlite_1672();
+        let rate = bug.failure_rate(60);
+        assert!(rate > 0.02 && rate < 0.9, "rate {rate}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Transmission bug #1818 (1.42) — the bandwidth object's invariant is
+//! destroyed by the main thread while a peer I/O thread still asserts it:
+//! an order violation between destruction and use.
+
+use gist_vm::{SchedulerKind, VmConfig};
+
+use crate::spec::{BugClass, BugSpec, PaperNumbers};
+
+const PROGRAM: &str = r#"
+; transmission 1.42 (miniature) — bandwidth object destroyed while in use.
+global epilogue_ticks = 0
+global bytes_moved = 0
+global peers = 0
+
+fn account(n) {
+entry:
+  b = load $bytes_moved           @ bandwidth.c:60
+  b2 = add b, n                   @ bandwidth.c:61
+  store $bytes_moved, b2          @ bandwidth.c:62
+  ret                             @ bandwidth.c:63
+}
+
+fn peer_io(band) {
+entry:
+  i = const 0                     @ peer-io.c:410
+  br head                        @ peer-io.c:411
+head:
+  magic = load band               @ peer-io.c:413
+  ok = cmp eq magic, 1234         @ peer-io.c:414
+  assert ok, "bandwidth magic"    @ peer-io.c:414
+  la = gep band, 1                @ peer-io.c:416
+  limit = load la                 @ peer-io.c:416
+  call account(limit)             @ peer-io.c:417
+  i = add i, 1                    @ peer-io.c:418
+  more = cmp lt i, 2              @ peer-io.c:419
+  condbr more, head, exit         @ peer-io.c:419
+exit:
+  ret                             @ peer-io.c:421
+}
+
+fn main() {
+entry:
+  band = alloc 2                  @ session.c:300
+  store band, 1234                @ session.c:301
+  la = gep band, 1                @ session.c:302
+  store la, 100                   @ session.c:302
+  p = load $peers                 @ session.c:305
+  p2 = add p, 1                   @ session.c:305
+  store $peers, p2                @ session.c:305
+  t = spawn peer_io(band)         @ session.c:310
+  k = const 0                     @ session.c:312
+  br work                        @ session.c:313
+work:
+  p3 = load $peers                @ session.c:314
+  p4 = add p3, 0                  @ session.c:314
+  store $peers, p4                @ session.c:314
+  k = add k, 1                    @ session.c:315
+  moar = cmp lt k, 4              @ session.c:316
+  condbr moar, work, teardown     @ session.c:316
+teardown:
+  store band, 0                   @ session.c:318
+  join t                          @ session.c:320
+  call epilogue_work()
+  ret                             @ session.c:322
+}
+
+fn epilogue_work() {
+entry:
+  k = const 120
+  br head
+head:
+  t = load $epilogue_ticks
+  t2 = add t, 1
+  store $epilogue_ticks, t2
+  k = sub k, 1
+  more = cmp gt k, 0
+  condbr more, head, exit
+exit:
+  ret
+}
+"#;
+
+fn config(seed: u64) -> VmConfig {
+    VmConfig {
+        scheduler: SchedulerKind::Random { seed, preempt: 0.5 },
+        num_cores: 4,
+        ..VmConfig::default()
+    }
+}
+
+/// Builds the Transmission #1818 bug spec.
+pub fn transmission_1818() -> BugSpec {
+    BugSpec {
+        name: "transmission-1818",
+        display: "Transmission bug #1818",
+        software: "Transmission",
+        version: "1.42",
+        bug_id: "1818",
+        class: BugClass::Concurrency,
+        program: super::parse("transmission-1818", PROGRAM),
+        make_config: config,
+        ideal_lines: vec![("session.c", 318), ("peer-io.c", 413), ("peer-io.c", 414)],
+        // Failing order: destruction store before the peer's magic read.
+        ideal_order_lines: vec![("session.c", 318), ("peer-io.c", 413)],
+        root_cause_lines: vec![("session.c", 318)],
+        prefer_loc: None,
+        paper: PaperNumbers {
+            software_loc: 59_977,
+            slice_src: 680,
+            slice_instrs: 1_681,
+            ideal_src: 2,
+            ideal_instrs: 7,
+            gist_src: 3,
+            gist_instrs: 8,
+            recurrences: 3,
+            time_s: 23,
+            offline_s: 17,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::FailureKind;
+
+    #[test]
+    fn magic_assert_fires_when_destroyed_early() {
+        let bug = transmission_1818();
+        let (_, report) = bug.find_failure(200).expect("manifests");
+        match &report.kind {
+            FailureKind::AssertFail { msg } => assert!(msg.contains("magic")),
+            k => panic!("expected assert failure, got {k:?}"),
+        }
+        let f = bug.program.function_by_name("peer_io").unwrap();
+        assert_eq!(report.stack.first().map(|fr| fr.func), Some(f.id));
+    }
+
+    #[test]
+    fn rate_is_schedule_dependent() {
+        let bug = transmission_1818();
+        let rate = bug.failure_rate(60);
+        assert!(rate > 0.05 && rate < 0.95, "rate {rate}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Bugbase — the paper's evaluation suite (§5, Table 1), rebuilt.
+//!
+//! The paper evaluates Gist on 11 failures from 7 programs: Apache httpd
+//! (4 bugs), Cppcheck (2), Curl, Transmission, SQLite, Memcached, and
+//! Pbzip2, reproduced through their "Bugbase" framework. The original
+//! programs are hundreds of thousands of lines of C; here each bug is
+//! re-created as a miniature MiniC program that is **structurally
+//! faithful** to the real root cause:
+//!
+//! * the same *kind* of failure (segfault / double free / assert / UAF),
+//! * the same *failure-predicting pattern* (e.g. Apache #21287 is still a
+//!   non-atomic `dec; if (!refcnt) free` double free across two threads;
+//!   Curl #965 is still `strlen(NULL)` reached only for unbalanced-brace
+//!   inputs),
+//! * the same relationship between root cause and failure point (including
+//!   root causes that static slicing *misses* without alias analysis and
+//!   runtime watchpoints must discover),
+//! * plus unrelated scaffolding code so slices are a strict subset of the
+//!   program, as in Table 1.
+//!
+//! Every bug carries: the program, a seeded workload generator (some runs
+//! fail, most succeed), a hand-built **ideal failure sketch** (the §5.2
+//! ground truth), the root-cause statements a developer needs (the
+//! stop-condition for AsT), and the paper's reported metadata for
+//! side-by-side comparison in EXPERIMENTS.md.
+
+pub mod bugs;
+pub mod spec;
+
+pub use spec::{all_bugs, bug_by_name, BugClass, BugSpec, PaperNumbers};

@@ -1,0 +1,260 @@
+//! The simulated endpoint fleet.
+
+use std::collections::VecDeque;
+
+use gist_core::{ClientRunData, Fleet};
+use gist_ir::Program;
+use gist_tracking::{InstrumentationPatch, TrackerRuntime};
+use gist_vm::{RunOutcome, Vm, VmConfig};
+use parking_lot::Mutex;
+
+/// Fleet configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of simulated endpoints (the paper used 1,136).
+    pub endpoints: u32,
+    /// Virtual cores per endpoint machine.
+    pub num_cores: u32,
+    /// Collect runs in parallel batches of this size on real OS threads
+    /// (1 = sequential). Determinism per run is unaffected: seeds are
+    /// assigned before dispatch.
+    pub batch: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            endpoints: 64,
+            num_cores: 4,
+            batch: 1,
+        }
+    }
+}
+
+/// A fleet of simulated endpoints executing one program under a seeded
+/// workload. Implements [`Fleet`] for the Gist server.
+pub struct SimulatedFleet<'p> {
+    program: &'p Program,
+    make_config: fn(u64) -> VmConfig,
+    config: FleetConfig,
+    /// Next run index (also drives endpoint choice and seeds).
+    next_run: u64,
+    /// Prefetched runs for the currently shipped patch.
+    buffer: VecDeque<ClientRunData>,
+    /// The patch the buffer was produced under.
+    buffered_patch: Option<InstrumentationPatch>,
+    /// Total runs executed.
+    pub runs: u64,
+    /// Runs that failed (any failure).
+    pub failing_runs: u64,
+}
+
+impl<'p> SimulatedFleet<'p> {
+    /// Creates a fleet executing `program` with the given seeded workload.
+    pub fn new(
+        program: &'p Program,
+        make_config: fn(u64) -> VmConfig,
+        config: FleetConfig,
+    ) -> Self {
+        SimulatedFleet {
+            program,
+            make_config,
+            config,
+            next_run: 0,
+            buffer: VecDeque::new(),
+            buffered_patch: None,
+            runs: 0,
+            failing_runs: 0,
+        }
+    }
+
+    /// Creates a fleet for a bugbase bug.
+    pub fn for_bug(bug: &'p gist_bugbase::BugSpec, config: FleetConfig) -> Self {
+        Self::new(&bug.program, bug.make_config, config)
+    }
+
+    /// The workload seed of run `n`: endpoints interleave round-robin and
+    /// each endpoint has its own seed stream, so adding endpoints changes
+    /// *which* machine sees a failure but not reproducibility.
+    fn seed_of(&self, n: u64) -> u64 {
+        let endpoint = n % u64::from(self.config.endpoints.max(1));
+        let local = n / u64::from(self.config.endpoints.max(1));
+        endpoint.wrapping_mul(1_000_003).wrapping_add(local)
+    }
+
+    /// Executes one run with the given seed under `patch`.
+    fn execute(
+        program: &Program,
+        make_config: fn(u64) -> VmConfig,
+        num_cores: u32,
+        patch: &InstrumentationPatch,
+        run_id: u64,
+        seed: u64,
+    ) -> ClientRunData {
+        let mut cfg = make_config(seed);
+        cfg.num_cores = num_cores;
+        let mut tracker = TrackerRuntime::new(program, patch.clone(), num_cores);
+        let mut vm = Vm::new(program, cfg);
+        let result = vm.run(&mut [&mut tracker]);
+        ClientRunData {
+            run_id,
+            outcome: match result.outcome {
+                RunOutcome::Failed(r) => Some(r),
+                RunOutcome::Finished => None,
+            },
+            trace: tracker.finish(),
+            retired: result.steps,
+        }
+    }
+
+    /// Fills the buffer with a batch of runs for `patch`, in parallel when
+    /// `config.batch > 1`.
+    fn refill(&mut self, patch: &InstrumentationPatch) {
+        let batch = self.config.batch.max(1);
+        let ids_seeds: Vec<(u64, u64)> = (0..batch as u64)
+            .map(|i| {
+                let n = self.next_run + i;
+                (n, self.seed_of(n))
+            })
+            .collect();
+        self.next_run += batch as u64;
+        if batch == 1 {
+            let (id, seed) = ids_seeds[0];
+            self.buffer.push_back(Self::execute(
+                self.program,
+                self.make_config,
+                self.config.num_cores,
+                patch,
+                id,
+                seed,
+            ));
+        } else {
+            let results: Mutex<Vec<(u64, ClientRunData)>> = Mutex::new(Vec::with_capacity(batch));
+            let program = self.program;
+            let make_config = self.make_config;
+            let cores = self.config.num_cores;
+            crossbeam::thread::scope(|s| {
+                for &(id, seed) in &ids_seeds {
+                    let results = &results;
+                    let patch = &*patch;
+                    s.spawn(move |_| {
+                        let run = Self::execute(program, make_config, cores, patch, id, seed);
+                        results.lock().push((id, run));
+                    });
+                }
+            })
+            .expect("fleet worker panicked");
+            let mut collected = results.into_inner();
+            collected.sort_by_key(|(id, _)| *id);
+            self.buffer
+                .extend(collected.into_iter().map(|(_, run)| run));
+        }
+        self.buffered_patch = Some(patch.clone());
+    }
+}
+
+impl Fleet for SimulatedFleet<'_> {
+    fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData {
+        if self.buffered_patch.as_ref() != Some(patch) {
+            // Patch changed (new AsT iteration / watch group): discard any
+            // prefetched runs; those executions simply never report back.
+            self.buffer.clear();
+            self.buffered_patch = None;
+        }
+        if self.buffer.is_empty() {
+            self.refill(patch);
+        }
+        let run = self.buffer.pop_front().expect("refill produced runs");
+        self.runs += 1;
+        if run.outcome.is_some() {
+            self.failing_runs += 1;
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_bugbase::bug_by_name;
+
+    #[test]
+    fn sequential_and_parallel_fleets_agree() {
+        let bug = bug_by_name("pbzip2-1").unwrap();
+        let patch = InstrumentationPatch::default();
+        let runs_with = |batch: usize| {
+            let mut fleet = SimulatedFleet::for_bug(
+                &bug,
+                FleetConfig {
+                    endpoints: 8,
+                    num_cores: 4,
+                    batch,
+                },
+            );
+            (0..12)
+                .map(|_| {
+                    let r = Fleet::next_run(&mut fleet, &patch);
+                    (r.run_id, r.outcome.is_some(), r.retired)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(runs_with(1), runs_with(4), "batching must not change runs");
+    }
+
+    #[test]
+    fn failure_counter_tracks_outcomes() {
+        let bug = bug_by_name("curl-965").unwrap();
+        let patch = InstrumentationPatch::default();
+        let mut fleet = SimulatedFleet::for_bug(&bug, FleetConfig::default());
+        for _ in 0..9 {
+            Fleet::next_run(&mut fleet, &patch);
+        }
+        assert_eq!(fleet.runs, 9);
+        // Curl fails on every third seed (seeds 0,3,6 of endpoint streams
+        // spread across endpoints, so at least one failure in 9 runs).
+        assert!(fleet.failing_runs > 0);
+    }
+
+    #[test]
+    fn patch_change_discards_prefetched_runs() {
+        let bug = bug_by_name("pbzip2-1").unwrap();
+        let mut fleet = SimulatedFleet::for_bug(
+            &bug,
+            FleetConfig {
+                endpoints: 4,
+                num_cores: 4,
+                batch: 6,
+            },
+        );
+        let p1 = InstrumentationPatch::default();
+        let p2 = InstrumentationPatch {
+            pt_on_at_start: true,
+            ..InstrumentationPatch::default()
+        };
+        let _ = Fleet::next_run(&mut fleet, &p1);
+        // Buffer holds 5 prefetched runs for p1; switching patches drops them.
+        let r = Fleet::next_run(&mut fleet, &p2);
+        assert!(
+            r.run_id >= 6,
+            "prefetched p1 runs discarded, got {}",
+            r.run_id
+        );
+    }
+
+    #[test]
+    fn distinct_endpoints_have_distinct_seed_streams() {
+        let bug = bug_by_name("pbzip2-1").unwrap();
+        let fleet = SimulatedFleet::for_bug(
+            &bug,
+            FleetConfig {
+                endpoints: 16,
+                ..FleetConfig::default()
+            },
+        );
+        let s0 = fleet.seed_of(0);
+        let s1 = fleet.seed_of(1);
+        let s16 = fleet.seed_of(16);
+        assert_ne!(s0, s1);
+        assert_eq!(s16, s0 + 1, "endpoint 0's second run follows its stream");
+    }
+}

@@ -1,0 +1,127 @@
+//! The client-side abstraction: what one production run returns.
+
+use gist_ir::InstrId;
+use gist_tracking::{InstrumentationPatch, RunTrace};
+use gist_vm::FailureReport;
+
+/// Everything Gist's server receives from one instrumented production run.
+#[derive(Clone, Debug)]
+pub struct ClientRunData {
+    /// Monotonic run id (for diagnostics).
+    pub run_id: u64,
+    /// The failure report, if the run failed (`None` = successful run).
+    pub outcome: Option<FailureReport>,
+    /// The collected trace (decoded PT + watchpoint hits + counters).
+    pub trace: RunTrace,
+    /// Total statements the run retired (denominator of overhead models).
+    pub retired: u64,
+}
+
+impl ClientRunData {
+    /// True if the run failed with the given failure signature (Gist
+    /// matches failures by program counter + stack trace, §3 fn. 1).
+    pub fn matches_failure(&self, signature: u64) -> bool {
+        self.outcome
+            .as_ref()
+            .map(|r| r.signature() == signature)
+            .unwrap_or(false)
+    }
+
+    /// The failing statement if the run failed.
+    pub fn failing_stmt(&self) -> Option<InstrId> {
+        self.outcome.as_ref().map(|r| r.failing_stmt)
+    }
+}
+
+/// A source of production runs. Implemented by the simulated cooperative
+/// fleet (`gist-coop`) and by in-process test fleets.
+pub trait Fleet {
+    /// Executes one production run under the given instrumentation and
+    /// returns its data. Successive calls represent successive runs in
+    /// the data center / user endpoints.
+    fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData;
+}
+
+impl<F> Fleet for F
+where
+    F: FnMut(&InstrumentationPatch) -> ClientRunData,
+{
+    fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData {
+        self(patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_vm::{FailureKind, FailureReport};
+
+    fn report(stmt: u32) -> FailureReport {
+        FailureReport {
+            program: "p".into(),
+            kind: FailureKind::SegFault { addr: 0 },
+            failing_stmt: InstrId(stmt),
+            tid: 0,
+            stack: Vec::new(),
+            loc: None,
+        }
+    }
+
+    fn dummy_trace() -> RunTrace {
+        RunTrace {
+            decoded: Default::default(),
+            hits: Vec::new(),
+            executed_tracked: Default::default(),
+            discovered: Default::default(),
+            branches: Vec::new(),
+            pt_bytes: 0,
+            pt_transitions: 0,
+            traced_retired: 0,
+            watch_traps: 0,
+            ptrace_ops: 0,
+            missed_arms: 0,
+        }
+    }
+
+    #[test]
+    fn signature_matching() {
+        let run = ClientRunData {
+            run_id: 0,
+            outcome: Some(report(5)),
+            trace: dummy_trace(),
+            retired: 10,
+        };
+        assert!(run.matches_failure(report(5).signature()));
+        assert!(!run.matches_failure(report(6).signature()));
+        assert_eq!(run.failing_stmt(), Some(InstrId(5)));
+    }
+
+    #[test]
+    fn successful_run_matches_nothing() {
+        let run = ClientRunData {
+            run_id: 0,
+            outcome: None,
+            trace: dummy_trace(),
+            retired: 10,
+        };
+        assert!(!run.matches_failure(report(5).signature()));
+        assert_eq!(run.failing_stmt(), None);
+    }
+
+    #[test]
+    fn closures_are_fleets() {
+        let mut n = 0u64;
+        let mut fleet = |_patch: &InstrumentationPatch| {
+            n += 1;
+            ClientRunData {
+                run_id: n,
+                outcome: None,
+                trace: dummy_trace(),
+                retired: 1,
+            }
+        };
+        let patch = InstrumentationPatch::default();
+        assert_eq!(Fleet::next_run(&mut fleet, &patch).run_id, 1);
+        assert_eq!(Fleet::next_run(&mut fleet, &patch).run_id, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Slice refinement (§3, step ③; §3.2).
+//!
+//! "Refinement removes from the slice the statements that don't get
+//! executed during the executions that Gist monitors, and it adds to the
+//! slice statements that were not identified as being part of the slice
+//! initially," the latter coming from watchpoint hits at untracked
+//! statements (the alias-analysis gap, §3.2.3).
+
+use std::collections::BTreeSet;
+
+use gist_ir::InstrId;
+use gist_tracking::RunTrace;
+
+/// Accumulated refinement state for one failure across production runs.
+#[derive(Clone, Debug, Default)]
+pub struct Refinement {
+    /// Tracked statements observed to execute in at least one *failing* run.
+    pub executed_in_failing: BTreeSet<InstrId>,
+    /// Tracked statements observed to execute in any run.
+    pub executed_ever: BTreeSet<InstrId>,
+    /// Statements discovered by watchpoints that were not tracked.
+    pub discovered: BTreeSet<InstrId>,
+    /// Failing runs folded in.
+    pub failing_runs: usize,
+    /// Successful runs folded in.
+    pub successful_runs: usize,
+}
+
+impl Refinement {
+    /// Creates an empty refinement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run's trace in.
+    pub fn absorb(&mut self, trace: &RunTrace, failing: bool) {
+        self.executed_ever.extend(&trace.executed_tracked);
+        self.discovered.extend(&trace.discovered);
+        if failing {
+            self.failing_runs += 1;
+            self.executed_in_failing.extend(&trace.executed_tracked);
+            // Discovered statements executed by definition (a watchpoint
+            // trapped on them).
+            self.executed_in_failing.extend(&trace.discovered);
+        } else {
+            self.successful_runs += 1;
+        }
+    }
+
+    /// The refined statement set for the failure sketch: statements
+    /// observed (traced or watchpoint-discovered) in *failing* runs. A
+    /// statement only ever seen in successful runs does not "lead to the
+    /// failure" and stays out of the sketch.
+    pub fn sketch_stmts(&self) -> BTreeSet<InstrId> {
+        self.executed_in_failing.clone()
+    }
+
+    /// Tracked statements that never executed in any monitored run — the
+    /// ones refinement removes from the slice.
+    pub fn removable(&self, tracked: &BTreeSet<InstrId>) -> BTreeSet<InstrId> {
+        tracked
+            .iter()
+            .copied()
+            .filter(|s| !self.executed_ever.contains(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_pt::decoder::DecodedTrace;
+
+    fn trace(executed: &[u32], discovered: &[u32]) -> RunTrace {
+        RunTrace {
+            decoded: DecodedTrace::default(),
+            hits: Vec::new(),
+            executed_tracked: executed.iter().map(|&i| InstrId(i)).collect(),
+            discovered: discovered.iter().map(|&i| InstrId(i)).collect(),
+            branches: Vec::new(),
+            pt_bytes: 0,
+            pt_transitions: 0,
+            traced_retired: 0,
+            watch_traps: 0,
+            ptrace_ops: 0,
+            missed_arms: 0,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_by_outcome() {
+        let mut r = Refinement::new();
+        r.absorb(&trace(&[1, 2], &[]), true);
+        r.absorb(&trace(&[2, 3], &[]), false);
+        assert_eq!(r.failing_runs, 1);
+        assert_eq!(r.successful_runs, 1);
+        assert!(r.executed_in_failing.contains(&InstrId(1)));
+        assert!(!r.executed_in_failing.contains(&InstrId(3)));
+        assert!(r.executed_ever.contains(&InstrId(3)));
+    }
+
+    #[test]
+    fn discovered_statements_join_the_sketch() {
+        let mut r = Refinement::new();
+        r.absorb(&trace(&[1], &[9]), true);
+        let s = r.sketch_stmts();
+        assert!(s.contains(&InstrId(1)));
+        assert!(s.contains(&InstrId(9)), "watchpoint-discovered stmt added");
+        // Discoveries from successful runs are recorded for refinement but
+        // do not enter the failure sketch.
+        r.absorb(&trace(&[], &[7]), false);
+        assert!(r.discovered.contains(&InstrId(7)));
+        assert!(!r.sketch_stmts().contains(&InstrId(7)));
+    }
+
+    #[test]
+    fn removable_reports_never_executed() {
+        let mut r = Refinement::new();
+        r.absorb(&trace(&[1], &[]), true);
+        let tracked: BTreeSet<InstrId> = [1, 2, 3].iter().map(|&i| InstrId(i)).collect();
+        let dead = r.removable(&tracked);
+        assert!(!dead.contains(&InstrId(1)));
+        assert!(dead.contains(&InstrId(2)));
+        assert!(dead.contains(&InstrId(3)));
+    }
+
+    #[test]
+    fn successful_run_discoveries_still_recorded() {
+        let mut r = Refinement::new();
+        r.absorb(&trace(&[1], &[7]), false);
+        assert!(r.discovered.contains(&InstrId(7)));
+        // But sketch stmts only include failing-run observations.
+        assert!(!r.sketch_stmts().contains(&InstrId(7)));
+        assert!(!r.sketch_stmts().contains(&InstrId(1)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Failure-report clustering.
+//!
+//! "Gist identifies the same failure across multiple executions by
+//! matching the program counters and stack traces of those executions"
+//! (§3, footnote 1). In a deployment, many different failures stream in
+//! from the fleet; the [`FailureIndex`] groups them by signature — the
+//! same role Windows Error Reporting's bucketing plays in §7 — so each
+//! cluster can drive its own diagnosis session.
+
+use std::collections::HashMap;
+
+use gist_vm::FailureReport;
+
+/// One cluster of identical failures.
+#[derive(Clone, Debug)]
+pub struct FailureCluster {
+    /// The signature shared by every report in the cluster.
+    pub signature: u64,
+    /// A representative report (the first one seen).
+    pub exemplar: FailureReport,
+    /// Number of reports folded into this cluster.
+    pub count: u64,
+    /// Run id of the first occurrence.
+    pub first_seen: u64,
+    /// Run id of the latest occurrence.
+    pub last_seen: u64,
+}
+
+/// Groups incoming failure reports by signature.
+#[derive(Debug, Default)]
+pub struct FailureIndex {
+    clusters: HashMap<u64, FailureCluster>,
+    total_reports: u64,
+}
+
+impl FailureIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a failure report from run `run_id`; returns its signature.
+    pub fn insert(&mut self, report: &FailureReport, run_id: u64) -> u64 {
+        self.total_reports += 1;
+        let sig = report.signature();
+        self.clusters
+            .entry(sig)
+            .and_modify(|c| {
+                c.count += 1;
+                c.last_seen = run_id;
+            })
+            .or_insert_with(|| FailureCluster {
+                signature: sig,
+                exemplar: report.clone(),
+                count: 1,
+                first_seen: run_id,
+                last_seen: run_id,
+            });
+        sig
+    }
+
+    /// The cluster for a signature, if any.
+    pub fn cluster(&self, signature: u64) -> Option<&FailureCluster> {
+        self.clusters.get(&signature)
+    }
+
+    /// All clusters, most frequent first (the triage order a developer —
+    /// or Gist's server scheduling diagnosis sessions — would use).
+    pub fn by_frequency(&self) -> Vec<&FailureCluster> {
+        let mut v: Vec<&FailureCluster> = self.clusters.values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.first_seen.cmp(&b.first_seen)));
+        v
+    }
+
+    /// Number of distinct failures seen.
+    pub fn distinct_failures(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total reports folded in.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// The recurrence rate of a cluster over a window of runs: how many
+    /// runs per recurrence ("the once every 24 hours bugs in a 100 machine
+    /// cluster", §1).
+    pub fn runs_per_recurrence(&self, signature: u64, total_runs: u64) -> Option<f64> {
+        let c = self.clusters.get(&signature)?;
+        if c.count == 0 {
+            return None;
+        }
+        Some(total_runs as f64 / c.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_ir::{FuncId, InstrId};
+    use gist_vm::{FailureKind, StackFrame};
+
+    fn report(stmt: u32, kind: FailureKind) -> FailureReport {
+        FailureReport {
+            program: "p".into(),
+            kind,
+            failing_stmt: InstrId(stmt),
+            tid: 0,
+            stack: vec![StackFrame {
+                func: FuncId(0),
+                iid: InstrId(stmt),
+            }],
+            loc: None,
+        }
+    }
+
+    #[test]
+    fn identical_failures_cluster_together() {
+        let mut idx = FailureIndex::new();
+        let a = report(5, FailureKind::SegFault { addr: 0 });
+        let s1 = idx.insert(&a, 1);
+        let s2 = idx.insert(&report(5, FailureKind::SegFault { addr: 0x40 }), 9);
+        assert_eq!(s1, s2, "addresses differ but the failure is the same");
+        assert_eq!(idx.distinct_failures(), 1);
+        let c = idx.cluster(s1).unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.first_seen, 1);
+        assert_eq!(c.last_seen, 9);
+    }
+
+    #[test]
+    fn different_failures_stay_apart() {
+        let mut idx = FailureIndex::new();
+        idx.insert(&report(5, FailureKind::SegFault { addr: 0 }), 1);
+        idx.insert(&report(6, FailureKind::SegFault { addr: 0 }), 2);
+        idx.insert(&report(5, FailureKind::Deadlock), 3);
+        assert_eq!(idx.distinct_failures(), 3);
+        assert_eq!(idx.total_reports(), 3);
+    }
+
+    #[test]
+    fn frequency_ordering_for_triage() {
+        let mut idx = FailureIndex::new();
+        for i in 0..5 {
+            idx.insert(&report(1, FailureKind::Deadlock), i);
+        }
+        idx.insert(&report(2, FailureKind::Deadlock), 10);
+        let order = idx.by_frequency();
+        assert_eq!(order[0].count, 5);
+        assert_eq!(order[1].count, 1);
+    }
+
+    #[test]
+    fn recurrence_rate() {
+        let mut idx = FailureIndex::new();
+        let s = idx.insert(&report(1, FailureKind::Deadlock), 0);
+        idx.insert(&report(1, FailureKind::Deadlock), 50);
+        assert_eq!(idx.runs_per_recurrence(s, 100), Some(50.0));
+        assert_eq!(idx.runs_per_recurrence(123, 100), None);
+    }
+
+    #[test]
+    fn clusters_real_fleet_failures() {
+        // Drive a real bug's workload and confirm the index separates the
+        // crash flavors (different failing statements → different
+        // clusters) while grouping repeats.
+        use gist_vm::{RunOutcome, Vm};
+        let bug = {
+            // A tiny inline racy program with two distinct crash sites.
+            let text = r#"
+global x = 0
+fn t2body(arg) {
+entry:
+  p = load $x
+  v = load p
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  store $x, q
+  t = spawn t2body(0)
+  free q
+  store $x, 0
+  join t
+  ret
+}
+"#;
+            gist_ir::parser::parse_program("two-flavors", text).unwrap()
+        };
+        let mut idx = FailureIndex::new();
+        let mut runs = 0u64;
+        for seed in 0..300 {
+            let cfg = gist_vm::VmConfig {
+                scheduler: gist_vm::SchedulerKind::Random { seed, preempt: 0.6 },
+                ..gist_vm::VmConfig::default()
+            };
+            runs += 1;
+            if let RunOutcome::Failed(r) = Vm::new(&bug, cfg).run(&mut []).outcome {
+                idx.insert(&r, runs);
+            }
+        }
+        assert!(idx.total_reports() > 0, "the race must manifest");
+        // Every cluster has a consistent exemplar signature.
+        for c in idx.by_frequency() {
+            assert_eq!(c.exemplar.signature(), c.signature);
+        }
+    }
+}

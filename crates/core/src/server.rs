@@ -1,0 +1,556 @@
+//! Gist's server side: the diagnosis loop of Fig. 2.
+
+use std::collections::BTreeSet;
+
+use gist_ir::{InstrId, Program};
+use gist_predictors::{rank, Access, PredictorStats, RunObservations};
+use gist_sketch::FailureSketch;
+use gist_slicing::{Slice, StaticSlicer};
+use gist_tracking::{Planner, RunTrace};
+use gist_vm::{AccessKind, FailureReport};
+
+use crate::ast::{AstController, Growth, DEFAULT_SIGMA};
+use crate::client::Fleet;
+use crate::engine::SketchBuilder;
+use crate::refine::Refinement;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct GistConfig {
+    /// Initial tracked-slice size σ (paper: 2).
+    pub sigma0: usize,
+    /// σ growth strategy (paper: multiplicative).
+    pub growth: Growth,
+    /// F-measure β (paper: 0.5, precision-favoring).
+    pub beta: f64,
+    /// Failure recurrences to gather per AsT iteration before rebuilding
+    /// the sketch.
+    pub failing_runs_per_iteration: usize,
+    /// Run budget per iteration (bounds diagnosis latency when failures
+    /// are rare).
+    pub max_runs_per_iteration: usize,
+    /// Hard cap on AsT iterations.
+    pub max_iterations: usize,
+    /// Ablation toggle: track control flow (Intel PT). Disabling leaves
+    /// the static slice unfiltered (Fig. 10's "static slicing only" bar).
+    pub enable_control_flow: bool,
+    /// Ablation toggle: track data flow (watchpoints).
+    pub enable_data_flow: bool,
+    /// Sketch title.
+    pub title: String,
+    /// Bug classification shown on the sketch type line.
+    pub bug_class: String,
+}
+
+impl Default for GistConfig {
+    fn default() -> Self {
+        GistConfig {
+            sigma0: DEFAULT_SIGMA,
+            growth: Growth::Multiplicative,
+            beta: 0.5,
+            failing_runs_per_iteration: 1,
+            max_runs_per_iteration: 400,
+            max_iterations: 12,
+            enable_control_flow: true,
+            enable_data_flow: true,
+            title: "Failure Sketch".to_owned(),
+            bug_class: "Bug".to_owned(),
+        }
+    }
+}
+
+/// Aggregate client-side cost counters for one diagnosis (feeds the
+/// overhead models in `gist-baselines`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostSummary {
+    /// Encoded PT bytes across all runs.
+    pub pt_bytes: u64,
+    /// PT driver transitions (ioctls).
+    pub pt_transitions: u64,
+    /// Statements retired while PT was on.
+    pub traced_retired: u64,
+    /// Watchpoint traps delivered.
+    pub watch_traps: u64,
+    /// Debug-register operations.
+    pub ptrace_ops: u64,
+    /// Total statements retired across all runs (baseline work).
+    pub total_retired: u64,
+    /// Instrumentation points shipped (summed over patches used).
+    pub instrumentation_points: u64,
+    /// Serialized patch bytes shipped.
+    pub patch_bytes: u64,
+}
+
+impl CostSummary {
+    fn absorb(&mut self, trace: &RunTrace, retired: u64) {
+        self.pt_bytes += trace.pt_bytes as u64;
+        self.pt_transitions += trace.pt_transitions;
+        self.traced_retired += trace.traced_retired;
+        self.watch_traps += trace.watch_traps;
+        self.ptrace_ops += trace.ptrace_ops;
+        self.total_retired += retired;
+    }
+}
+
+/// The outcome of diagnosing one failure.
+#[derive(Clone, Debug)]
+pub struct DiagnosisResult {
+    /// The final failure sketch.
+    pub sketch: FailureSketch,
+    /// The static slice the diagnosis started from.
+    pub slice: Slice,
+    /// AsT iterations performed.
+    pub iterations: usize,
+    /// Failure recurrences consumed (Table 1's latency unit).
+    pub recurrences: usize,
+    /// Total production runs consumed (failing + successful).
+    pub total_runs: usize,
+    /// Final σ.
+    pub final_sigma: usize,
+    /// Accumulated refinement state.
+    pub refinement: Refinement,
+    /// Full predictor ranking from the final iteration.
+    pub ranked: Vec<PredictorStats>,
+    /// Aggregate client cost.
+    pub cost: CostSummary,
+}
+
+/// The Gist server: static analyzer + failure sketch engine.
+pub struct GistServer<'p> {
+    program: &'p Program,
+    slicer: StaticSlicer<'p>,
+    config: GistConfig,
+}
+
+impl<'p> GistServer<'p> {
+    /// Creates a server for one program.
+    pub fn new(program: &'p Program, config: GistConfig) -> Self {
+        GistServer {
+            program,
+            slicer: StaticSlicer::new(program),
+            config,
+        }
+    }
+
+    /// The static slicer (exposed for evaluation harnesses).
+    pub fn slicer(&self) -> &StaticSlicer<'p> {
+        &self.slicer
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GistConfig {
+        &self.config
+    }
+
+    /// Diagnoses one failure: runs AsT iterations against the fleet until
+    /// `stop` approves the sketch (the paper's developer-in-the-loop),
+    /// AsT saturates, or the iteration cap is hit.
+    ///
+    /// `ideal` (evaluation only) marks statements outside the ideal sketch
+    /// grey, as in the paper's Fig. 8.
+    pub fn diagnose(
+        &self,
+        report: &FailureReport,
+        fleet: &mut dyn Fleet,
+        ideal: Option<&BTreeSet<InstrId>>,
+        stop: &mut dyn FnMut(&FailureSketch) -> bool,
+    ) -> DiagnosisResult {
+        let slice = self.slicer.compute(report.failing_stmt);
+        let planner = Planner::new(self.program, self.slicer.ticfg());
+        let builder = SketchBuilder::new(self.program)
+            .with_title(&self.config.title)
+            .with_class(&self.config.bug_class);
+        let signature = report.signature();
+
+        let mut ast =
+            AstController::with_sigma(slice.clone(), self.config.sigma0, self.config.growth);
+        let mut refinement = Refinement::new();
+        let mut cost = CostSummary::default();
+        let mut recurrences = 0usize;
+        let mut total_runs = 0usize;
+        // The representative failing run used for sketch layout: keep the
+        // one observing the most statements (thread attribution and
+        // cross-thread anchors are richest there).
+        let mut representative: Option<RunTrace> = None;
+        let mut representative_score = 0usize;
+        let mut sketch = FailureSketch::default();
+        let mut ranked: Vec<PredictorStats>;
+        let mut iterations = 0usize;
+
+        loop {
+            iterations += 1;
+            // Refinement's additive half (§3): statements the watchpoints
+            // discovered join the tracked slice, so later iterations trace
+            // them with PT and arm watchpoints at them directly — this is
+            // how a root cause that static slicing missed (no alias
+            // analysis) becomes fully observable.
+            let mut tracked: Vec<InstrId> = ast.tracked_portion().to_vec();
+            for &d in &refinement.discovered {
+                if !tracked.contains(&d) {
+                    tracked.push(d);
+                }
+            }
+            let groups = planner.watch_groups(&tracked);
+            let mut iter_obs: Vec<RunObservations> = Vec::new();
+            let mut failing_this_iter = 0usize;
+            let mut runs_this_iter = 0usize;
+
+            while failing_this_iter < self.config.failing_runs_per_iteration
+                && runs_this_iter < self.config.max_runs_per_iteration
+            {
+                let group = runs_this_iter % groups;
+                let mut patch = planner.plan(&tracked, group);
+                if !self.config.enable_control_flow {
+                    patch.pt_on_after.clear();
+                    patch.pt_off_after.clear();
+                    patch.pt_on_return_to.clear();
+                    patch.pt_on_enter.clear();
+                    patch.pt_on_at_start = false;
+                }
+                if !self.config.enable_data_flow {
+                    patch.watch_accesses.clear();
+                }
+                cost.instrumentation_points += patch.instrumentation_points() as u64;
+                cost.patch_bytes += patch.shipped_size() as u64;
+
+                let run = fleet.next_run(&patch);
+                runs_this_iter += 1;
+                let failing = run.matches_failure(signature);
+                refinement.absorb(&run.trace, failing);
+                cost.absorb(&run.trace, run.retired);
+                iter_obs.push(observations(&run.trace, failing));
+                if failing {
+                    failing_this_iter += 1;
+                    let score = run.trace.executed_tracked.len()
+                        + run.trace.discovered.len()
+                        + run.trace.hits.len();
+                    if representative.is_none() || score >= representative_score {
+                        representative_score = score;
+                        representative = Some(run.trace.clone());
+                    }
+                }
+            }
+            recurrences += failing_this_iter;
+            total_runs += runs_this_iter;
+
+            ranked = rank(&iter_obs, self.config.beta);
+            let stmts = if self.config.enable_control_flow {
+                refinement.sketch_stmts()
+            } else {
+                // Static-only mode: no execution filter available.
+                let mut s: BTreeSet<InstrId> = tracked.iter().copied().collect();
+                s.extend(&refinement.discovered);
+                s
+            };
+            if let Some(rep) = &representative {
+                sketch = builder.build(report, &stmts, rep, &ranked, self.config.beta, ideal);
+            }
+
+            let done = stop(&sketch) || ast.saturated() || iterations >= self.config.max_iterations;
+            if done {
+                break;
+            }
+            ast.advance();
+        }
+
+        DiagnosisResult {
+            sketch,
+            slice,
+            iterations,
+            recurrences,
+            total_runs,
+            final_sigma: ast.sigma(),
+            refinement,
+            ranked,
+            cost,
+        }
+    }
+}
+
+/// Converts one run's trace into the statistical observations of §3.3.
+pub fn observations(trace: &RunTrace, failing: bool) -> RunObservations {
+    let accesses: Vec<Access> = trace
+        .hits
+        .iter()
+        .map(|h| Access {
+            seq: h.seq,
+            tid: h.tid,
+            iid: h.iid,
+            addr: h.addr,
+            rw: match h.kind {
+                AccessKind::Read => gist_predictors::pattern::Rw::R,
+                AccessKind::Write => gist_predictors::pattern::Rw::W,
+            },
+            value: h.value,
+        })
+        .collect();
+    let branches: Vec<(InstrId, bool)> = trace.branches.iter().map(|&(_, s, t)| (s, t)).collect();
+    RunObservations {
+        failing,
+        accesses,
+        branches,
+        values: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientRunData;
+    use gist_ir::parser::parse_program;
+    use gist_tracking::InstrumentationPatch;
+    use gist_tracking::TrackerRuntime;
+    use gist_vm::{RunOutcome, SchedulerKind, Vm, VmConfig};
+
+    const PBZIP_MINI: &str = r#"
+fn cons(q) {
+entry:
+  m = load q        @ pbzip2.c:40
+  lock m            @ pbzip2.c:41
+  unlock m          @ pbzip2.c:43
+  ret               @ pbzip2.c:44
+}
+fn main() {
+entry:
+  q = alloc 1       @ pbzip2.c:10
+  mu = alloc 1      @ pbzip2.c:11
+  store q, mu       @ pbzip2.c:11
+  t = spawn cons(q) @ pbzip2.c:13
+  free mu           @ pbzip2.c:20
+  store q, 0        @ pbzip2.c:21
+  join t            @ pbzip2.c:22
+  ret               @ pbzip2.c:23
+}
+"#;
+
+    /// A fleet that executes the program on the VM with varying seeds.
+    struct VmFleet<'p> {
+        program: &'p Program,
+        next_seed: u64,
+        runs: u64,
+    }
+
+    impl Fleet for VmFleet<'_> {
+        fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData {
+            self.next_seed += 1;
+            self.runs += 1;
+            let mut tracker = TrackerRuntime::new(self.program, patch.clone(), 4);
+            let cfg = VmConfig {
+                scheduler: SchedulerKind::Random {
+                    seed: self.next_seed,
+                    preempt: 0.6,
+                },
+                ..VmConfig::default()
+            };
+            let mut vm = Vm::new(self.program, cfg);
+            let result = vm.run(&mut [&mut tracker]);
+            let outcome = match result.outcome {
+                RunOutcome::Failed(r) => Some(r),
+                RunOutcome::Finished => None,
+            };
+            ClientRunData {
+                run_id: self.runs,
+                outcome,
+                trace: tracker.finish(),
+                retired: result.steps,
+            }
+        }
+    }
+
+    /// Finds a failing run to seed the diagnosis (the paper's step ①).
+    fn first_failure(program: &Program) -> FailureReport {
+        for seed in 0..200 {
+            let cfg = VmConfig {
+                scheduler: SchedulerKind::Random { seed, preempt: 0.6 },
+                ..VmConfig::default()
+            };
+            let mut vm = Vm::new(program, cfg);
+            if let RunOutcome::Failed(r) = vm.run(&mut []).outcome {
+                return r;
+            }
+        }
+        panic!("bug never manifested");
+    }
+
+    #[test]
+    fn end_to_end_pbzip2_diagnosis() {
+        let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
+        let report = first_failure(&p);
+        let main = p.function_by_name("main").unwrap();
+        let store_null = main.blocks[0].instrs[5].id;
+
+        let server = GistServer::new(
+            &p,
+            GistConfig {
+                failing_runs_per_iteration: 6,
+                title: "Failure Sketch for pbzip2 bug #1".into(),
+                bug_class: "Concurrency bug".into(),
+                ..GistConfig::default()
+            },
+        );
+        let mut fleet = VmFleet {
+            program: &p,
+            next_seed: 1000,
+            runs: 0,
+        };
+        let result = server.diagnose(
+            &report,
+            &mut fleet,
+            None,
+            // Developer stops once the sketch shows the root-cause store.
+            &mut |sketch| sketch.stmts().contains(&store_null),
+        );
+        assert!(
+            result.sketch.stmts().contains(&store_null),
+            "sketch must contain the alias-missed root-cause store; got {:?}",
+            result.sketch.stmts()
+        );
+        assert!(result.recurrences >= 1);
+        assert!(result.iterations >= 1);
+        assert!(result.cost.total_retired > 0);
+        // The sketch spans both threads.
+        assert!(
+            result.sketch.threads.len() >= 2,
+            "{:?}",
+            result.sketch.threads
+        );
+        // A concurrency predictor should rank at the top among "order".
+        let has_order_predictor = result
+            .ranked
+            .iter()
+            .any(|s| s.predictor.category() == "order" && s.f_measure(0.5) > 0.0);
+        assert!(has_order_predictor, "ranked: {:?}", result.ranked);
+        // Render must not panic and must mention both threads.
+        let text = result.sketch.render();
+        assert!(text.contains("Thread T0"));
+        assert!(text.contains("Thread T1"));
+    }
+
+    #[test]
+    fn sequential_bug_diagnosis_with_branch_predictor() {
+        // A curl-like sequential bug: bad input takes the unchecked path.
+        let text = r#"
+global urls = 0
+fn next_url(u) {
+entry:
+  cur = load u           @ curl.c:20
+  n = strlen cur         @ curl.c:21
+  ret n
+}
+fn main() {
+entry:
+  s = input 0            @ curl.c:5
+  bal = input 1          @ curl.c:6
+  u = alloc 1            @ curl.c:7
+  cond = cmp eq bal, 1   @ curl.c:8
+  condbr cond, ok, bad   @ curl.c:8
+ok:
+  store u, s             @ curl.c:9
+  br go
+bad:
+  store u, 0             @ curl.c:11
+  br go
+go:
+  r = call next_url(u)   @ curl.c:13
+  print r
+  ret
+}
+"#;
+        let p = parse_program("curl-mini", text).unwrap();
+        // Find the failure: bal=0 stores NULL, strlen(NULL) segfaults.
+        let mut report = None;
+        {
+            let cfg = VmConfig {
+                inputs: vec![gist_vm::Input::str_from("{}{"), gist_vm::Input::Scalar(0)],
+                ..VmConfig::default()
+            };
+            let mut vm = Vm::new(&p, cfg);
+            if let RunOutcome::Failed(r) = vm.run(&mut []).outcome {
+                report = Some(r);
+            }
+        }
+        let report = report.expect("curl-mini must fail on unbalanced input");
+
+        struct CurlFleet<'p> {
+            program: &'p Program,
+            n: u64,
+        }
+        impl Fleet for CurlFleet<'_> {
+            fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData {
+                self.n += 1;
+                // Alternate failing (unbalanced) and successful inputs.
+                let bad = self.n.is_multiple_of(2);
+                let cfg = VmConfig {
+                    inputs: vec![
+                        gist_vm::Input::str_from(if bad { "{}{" } else { "abc" }),
+                        gist_vm::Input::Scalar(i64::from(!bad)),
+                    ],
+                    ..VmConfig::default()
+                };
+                let mut tracker = TrackerRuntime::new(self.program, patch.clone(), 4);
+                let mut vm = Vm::new(self.program, cfg);
+                let result = vm.run(&mut [&mut tracker]);
+                ClientRunData {
+                    run_id: self.n,
+                    outcome: match result.outcome {
+                        RunOutcome::Failed(r) => Some(r),
+                        RunOutcome::Finished => None,
+                    },
+                    trace: tracker.finish(),
+                    retired: result.steps,
+                }
+            }
+        }
+
+        let server = GistServer::new(
+            &p,
+            GistConfig {
+                failing_runs_per_iteration: 4,
+                bug_class: "Sequential bug".into(),
+                ..GistConfig::default()
+            },
+        );
+        let mut fleet = CurlFleet { program: &p, n: 0 };
+        let result = server.diagnose(&report, &mut fleet, None, &mut |sketch| {
+            // Stop once a branch or value predictor emerges.
+            sketch.predictors.iter().any(|s| s.f_measure(0.5) > 0.9)
+        });
+        assert!(
+            result
+                .ranked
+                .iter()
+                .any(|s| matches!(s.predictor.category(), "branch" | "value")
+                    && s.f_measure(0.5) > 0.9),
+            "a sequential predictor must emerge: {:?}",
+            result.ranked
+        );
+        assert!(result.sketch.failure_type.contains("Sequential bug"));
+    }
+
+    #[test]
+    fn static_only_mode_uses_tracked_set() {
+        let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
+        let report = first_failure(&p);
+        let server = GistServer::new(
+            &p,
+            GistConfig {
+                enable_control_flow: false,
+                enable_data_flow: false,
+                failing_runs_per_iteration: 2,
+                max_iterations: 2,
+                ..GistConfig::default()
+            },
+        );
+        let mut fleet = VmFleet {
+            program: &p,
+            next_seed: 0,
+            runs: 0,
+        };
+        let result = server.diagnose(&report, &mut fleet, None, &mut |_| false);
+        // No PT, no watchpoints: cost counters for tracking must be zero.
+        assert_eq!(result.cost.pt_bytes, 0);
+        assert_eq!(result.cost.watch_traps, 0);
+        // But a sketch is still produced from the static slice prefix.
+        assert!(!result.sketch.is_empty());
+    }
+}

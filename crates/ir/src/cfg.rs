@@ -1,0 +1,184 @@
+//! Per-function control-flow graphs.
+
+use crate::program::Function;
+use crate::types::BlockId;
+
+/// The control-flow graph of one function: predecessor and successor lists
+/// plus traversal orders. Block indices match [`Function::blocks`].
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Blocks with no successors (return / unreachable blocks).
+    pub exits: Vec<BlockId>,
+    /// `reachable[b]` is true if `b` is reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in &f.blocks {
+            for s in b.term.successors() {
+                succs[b.id.index()].push(s);
+                preds[s.index()].push(b.id);
+            }
+        }
+        let exits = f
+            .blocks
+            .iter()
+            .filter(|b| b.term.successors().is_empty())
+            .map(|b| b.id)
+            .collect();
+
+        // Postorder DFS from the entry.
+        let mut reachable = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        if n > 0 {
+            // Iterative DFS carrying an explicit child cursor.
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            reachable[0] = true;
+            while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+                if *cursor < succs[b.index()].len() {
+                    let child = succs[b.index()][*cursor];
+                    *cursor += 1;
+                    if !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        stack.push((child, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            exits,
+            reachable,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The position of each block in reverse postorder (unreachable blocks
+    /// get `usize::MAX`).
+    pub fn rpo_index(&self) -> Vec<usize> {
+        let mut idx = vec![usize::MAX; self.len()];
+        for (i, b) in self.rpo.iter().enumerate() {
+            idx[b.index()] = i;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::CmpKind;
+    use crate::program::Program;
+
+    /// diamond: entry -> (then|else) -> exit
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.function("main", &[]);
+        let c = f.const_i64("c", 1);
+        let then_bb = f.new_block("then");
+        let else_bb = f.new_block("else");
+        let exit = f.new_block("exit");
+        f.condbr(c.into(), then_bb, else_bb);
+        f.switch_to(then_bb);
+        f.br(exit);
+        f.switch_to(else_bb);
+        f.br(exit);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let p = diamond();
+        let cfg = Cfg::build(&p.functions[0]);
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[3].len(), 2);
+        assert_eq!(cfg.preds[0].len(), 0);
+        assert_eq!(cfg.exits, vec![BlockId(3)]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let p = diamond();
+        let cfg = Cfg::build(&p.functions[0]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        // RPO property for acyclic graphs: every edge goes forward.
+        let idx = cfg.rpo_index();
+        for (b, ss) in cfg.succs.iter().enumerate() {
+            for s in ss {
+                assert!(idx[b] < idx[s.index()], "edge bb{b}->{s} not forward");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.function("main", &[]);
+        let dead = f.new_block("dead");
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p.functions[0]);
+        assert!(cfg.reachable[0]);
+        assert!(!cfg.reachable[1]);
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn loop_has_back_edge_pred() {
+        let mut pb = ProgramBuilder::new("t");
+        let g = pb.global("n", 5);
+        let mut f = pb.function("main", &[]);
+        let head = f.new_block("head");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        f.br(head);
+        f.switch_to(head);
+        let v = f.load("v", g.into());
+        let c = f.cmp("c", CmpKind::Gt, v.into(), 0.into());
+        f.condbr(c.into(), body, exit);
+        f.switch_to(body);
+        f.br(head);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish().unwrap();
+        let cfg = Cfg::build(&p.functions[0]);
+        // head has two preds: entry and body (the back edge).
+        assert_eq!(cfg.preds[1].len(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! MiniC intermediate representation (IR) for the failure-sketching workspace.
+//!
+//! This crate is the stand-in for LLVM IR in the Gist pipeline (SOSP'15,
+//! "Failure Sketching"). It provides:
+//!
+//! * a small, typed, register-based IR ([`Program`], [`Function`],
+//!   [`BasicBlock`], [`Instr`]) rich enough to express the multithreaded C
+//!   programs the paper evaluates (globals, heap, mutexes, thread
+//!   create/join, indirect calls, assertions),
+//! * per-function control-flow graphs ([`cfg::Cfg`]) with dominator and
+//!   postdominator analyses ([`dom`]) used by Gist's instrumentation
+//!   planner (paper §3.2.2–§3.2.3),
+//! * the interprocedural and *thread* interprocedural control-flow graphs
+//!   ([`icfg::Icfg`], [`icfg::Ticfg`]) used by the static backward slicer
+//!   (paper §3.1),
+//! * a line-oriented textual format ([`parser`], [`printer`]) so that bug
+//!   programs can be written as `.gir` sources, and
+//! * a [`builder`] API for constructing programs from Rust code.
+//!
+//! # Examples
+//!
+//! ```
+//! use gist_ir::builder::ProgramBuilder;
+//!
+//! let mut pb = ProgramBuilder::new("demo");
+//! let mut f = pb.function("main", &[]);
+//! let x = f.const_i64("x", 41);
+//! let one = f.const_i64("one", 1);
+//! let y = f.add("y", x.into(), one.into());
+//! f.print(&[y.into()]);
+//! f.ret(None);
+//! f.finish();
+//! let program = pb.finish().expect("valid program");
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod icfg;
+pub mod instr;
+pub mod parser;
+pub mod printer;
+pub mod program;
+pub mod srcmap;
+pub mod types;
+
+pub use instr::{BinKind, Callee, CmpKind, Instr, IntrinsicKind, Op, Operand, Terminator};
+pub use program::{BasicBlock, Function, Global, Program, ValidationError};
+pub use srcmap::{SourceMap, SrcLoc};
+pub use types::{BlockId, FileId, FuncId, GlobalId, InstrId, Value, VarId};

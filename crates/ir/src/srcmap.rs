@@ -1,0 +1,158 @@
+//! Source locations and the program source map.
+//!
+//! Gist reports failure sketches in terms of *source* statements (paper
+//! Table 1 reports slice sizes both in source LOC and in LLVM instructions).
+//! MiniC mirrors this: every IR statement carries a [`SrcLoc`], and the
+//! [`SourceMap`] can optionally store the original source line text so the
+//! sketch renderer can show C-like statements, as in the paper's Figs 1/7/8.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::types::FileId;
+
+/// A `file:line` source position attached to an IR statement.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SrcLoc {
+    /// The source file.
+    pub file: FileId,
+    /// The 1-based line number; 0 means "unknown".
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// A location with no source information.
+    pub const UNKNOWN: SrcLoc = SrcLoc {
+        file: FileId(0),
+        line: 0,
+    };
+
+    /// Creates a new location.
+    pub fn new(file: FileId, line: u32) -> Self {
+        SrcLoc { file, line }
+    }
+
+    /// Returns true if this is the unknown location.
+    pub fn is_unknown(self) -> bool {
+        self.line == 0
+    }
+}
+
+/// Interns file names and (optionally) per-line source text.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SourceMap {
+    files: Vec<String>,
+    /// Original source text per (file, line), used for sketch rendering.
+    lines: BTreeMap<(FileId, u32), String>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map. File id 0 is reserved for `<unknown>`.
+    pub fn new() -> Self {
+        SourceMap {
+            files: vec!["<unknown>".to_owned()],
+            lines: BTreeMap::new(),
+        }
+    }
+
+    /// Interns a file name, returning its id. Idempotent.
+    pub fn intern_file(&mut self, name: &str) -> FileId {
+        if let Some(pos) = self.files.iter().position(|f| f == name) {
+            return FileId(pos as u32);
+        }
+        self.files.push(name.to_owned());
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    /// Looks up a file name by id.
+    pub fn file_name(&self, id: FileId) -> &str {
+        self.files
+            .get(id.index())
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Returns the id for a file name if it was interned.
+    pub fn find_file(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f == name)
+            .map(|p| FileId(p as u32))
+    }
+
+    /// Registers the original source text of a line (for sketch rendering).
+    pub fn set_line_text(&mut self, loc: SrcLoc, text: impl Into<String>) {
+        self.lines.insert((loc.file, loc.line), text.into());
+    }
+
+    /// Returns the registered source text of a line, if any.
+    pub fn line_text(&self, loc: SrcLoc) -> Option<&str> {
+        self.lines.get(&(loc.file, loc.line)).map(String::as_str)
+    }
+
+    /// Formats a location as `file:line`.
+    pub fn display(&self, loc: SrcLoc) -> String {
+        if loc.is_unknown() {
+            "<unknown>".to_owned()
+        } else {
+            format!("{}:{}", self.file_name(loc.file), loc.line)
+        }
+    }
+
+    /// Number of interned files (including `<unknown>`).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.file, self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut sm = SourceMap::new();
+        let a = sm.intern_file("pbzip2.c");
+        let b = sm.intern_file("pbzip2.c");
+        assert_eq!(a, b);
+        assert_eq!(sm.file_name(a), "pbzip2.c");
+        assert_eq!(sm.file_count(), 2);
+    }
+
+    #[test]
+    fn unknown_location() {
+        let sm = SourceMap::new();
+        assert!(SrcLoc::UNKNOWN.is_unknown());
+        assert_eq!(sm.display(SrcLoc::UNKNOWN), "<unknown>");
+    }
+
+    #[test]
+    fn line_text_roundtrip() {
+        let mut sm = SourceMap::new();
+        let f = sm.intern_file("main.c");
+        let loc = SrcLoc::new(f, 12);
+        sm.set_line_text(loc, "free(f->mut);");
+        assert_eq!(sm.line_text(loc), Some("free(f->mut);"));
+        assert_eq!(sm.line_text(SrcLoc::new(f, 13)), None);
+        assert_eq!(sm.display(loc), "main.c:12");
+    }
+
+    #[test]
+    fn find_file_only_finds_interned() {
+        let mut sm = SourceMap::new();
+        sm.intern_file("a.c");
+        assert!(sm.find_file("a.c").is_some());
+        assert!(sm.find_file("b.c").is_none());
+    }
+}

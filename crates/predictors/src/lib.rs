@@ -1,0 +1,23 @@
+//! Failure predictors and their statistical ranking (paper §3.3).
+//!
+//! Gist "follows a similar approach to cooperative bug isolation, which
+//! uses statistical methods to correlate failure predictors to failures".
+//! For sequential programs the predictors are **branches taken** and
+//! **data values computed**; for multithreaded programs, additionally the
+//! **single-variable atomicity-violation patterns** RWR / WWR / RWW / WRW
+//! and the **data-race patterns** WW / WR / RW of Fig. 5/6.
+//!
+//! Predictors are ranked by the F-measure Fβ = (1+β²)·P·R / (β²·P+R) with
+//! **β = 0.5**, favoring precision, "because its primary aim is to not
+//! confuse the developers with potentially erroneous failure predictors".
+//!
+//! Unlike CCI/PBI, the predictors carry the distinct pattern kind (an RWR
+//! atomicity violation is distinguishable from WWR), and unlike CBI, exact
+//! data values are tracked rather than sampled ranges — both differences
+//! are called out at the end of §3.3.
+
+pub mod pattern;
+pub mod stats;
+
+pub use pattern::{extract_predictors, Access, AvPattern, Predictor, RacePattern, RunObservations};
+pub use stats::{rank, top_by_category, PredictorStats};

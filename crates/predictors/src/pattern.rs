@@ -1,0 +1,525 @@
+//! Predictor extraction from per-run observations.
+
+use gist_ir::{InstrId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Read/write flavor of one logged access (mirrors the watchpoint log).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Rw {
+    /// Read.
+    R,
+    /// Write.
+    W,
+}
+
+/// One shared-memory access from the watchpoint hit log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Global order (total across threads — §3.2.3).
+    pub seq: u64,
+    /// Accessing thread.
+    pub tid: u32,
+    /// Accessing statement.
+    pub iid: InstrId,
+    /// Accessed address.
+    pub addr: u64,
+    /// Read or write.
+    pub rw: Rw,
+    /// Value read/written.
+    pub value: Value,
+}
+
+/// The four single-variable atomicity-violation patterns of Fig. 5.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AvPattern {
+    /// Read, remote Write, Read.
+    Rwr,
+    /// Write, remote Write, Read.
+    Wwr,
+    /// Read, remote Write, Write.
+    Rww,
+    /// Write, remote Read, Write.
+    Wrw,
+}
+
+impl AvPattern {
+    /// Classifies a (local, remote, local) kind triple.
+    pub fn classify(a: Rw, b: Rw, c: Rw) -> Option<AvPattern> {
+        match (a, b, c) {
+            (Rw::R, Rw::W, Rw::R) => Some(AvPattern::Rwr),
+            (Rw::W, Rw::W, Rw::R) => Some(AvPattern::Wwr),
+            (Rw::R, Rw::W, Rw::W) => Some(AvPattern::Rww),
+            (Rw::W, Rw::R, Rw::W) => Some(AvPattern::Wrw),
+            _ => None,
+        }
+    }
+
+    /// Display name ("RWR" etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            AvPattern::Rwr => "RWR",
+            AvPattern::Wwr => "WWR",
+            AvPattern::Rww => "RWW",
+            AvPattern::Wrw => "WRW",
+        }
+    }
+}
+
+/// The data-race / order-violation patterns of Fig. 5 (WW, WR, RW).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RacePattern {
+    /// Write then write.
+    Ww,
+    /// Write then read.
+    Wr,
+    /// Read then write.
+    Rw,
+}
+
+impl RacePattern {
+    /// Classifies an ordered conflicting pair.
+    pub fn classify(a: Rw, b: Rw) -> Option<RacePattern> {
+        match (a, b) {
+            (Rw::W, Rw::W) => Some(RacePattern::Ww),
+            (Rw::W, Rw::R) => Some(RacePattern::Wr),
+            (Rw::R, Rw::W) => Some(RacePattern::Rw),
+            (Rw::R, Rw::R) => None,
+        }
+    }
+
+    /// Display name ("WR" etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            RacePattern::Ww => "WW",
+            RacePattern::Wr => "WR",
+            RacePattern::Rw => "RW",
+        }
+    }
+}
+
+/// A failure predictor: a predicate over one run that, when true, predicts
+/// the failure (§3.3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Predictor {
+    /// An atomicity-violation instance: local/remote/local statements.
+    Atomicity {
+        /// Which of the four patterns.
+        pattern: AvPattern,
+        /// First local access statement.
+        first: InstrId,
+        /// Remote (interleaved) access statement.
+        remote: InstrId,
+        /// Second local access statement.
+        second: InstrId,
+    },
+    /// A race/order instance: two conflicting statements in this order.
+    Race {
+        /// Which pair pattern.
+        pattern: RacePattern,
+        /// Earlier access statement.
+        first: InstrId,
+        /// Later access statement.
+        second: InstrId,
+    },
+    /// A branch at `stmt` went this way.
+    Branch {
+        /// The conditional branch statement.
+        stmt: InstrId,
+        /// Direction.
+        taken: bool,
+    },
+    /// Statement `stmt` observed this data value.
+    Value {
+        /// The access statement.
+        stmt: InstrId,
+        /// The observed value.
+        value: Value,
+    },
+    /// Statement `stmt` observed a value in this range bucket.
+    ///
+    /// Range/inequality predicates are the paper's stated future work
+    /// ("we plan to track range and inequality predicates in Gist to
+    /// provide richer information on data values", §6): exact values can
+    /// be too specific (a dangling pointer has a different address every
+    /// run, but is always nonzero-and-invalid; a corrupted length is
+    /// *some* negative number). Buckets generalize across runs.
+    ValueRange {
+        /// The access statement.
+        stmt: InstrId,
+        /// The range bucket the value fell into.
+        range: ValueRange,
+    },
+}
+
+impl Predictor {
+    /// Coarse category (the sketch shows the top predictor per category:
+    /// "branches, data values, and statement orders", §3.3).
+    pub fn category(&self) -> &'static str {
+        match self {
+            Predictor::Atomicity { .. } | Predictor::Race { .. } => "order",
+            Predictor::Branch { .. } => "branch",
+            Predictor::Value { .. } | Predictor::ValueRange { .. } => "value",
+        }
+    }
+}
+
+/// Coarse value buckets for range/inequality predicates (paper §6 future
+/// work, implemented here as an extension).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum ValueRange {
+    /// Exactly zero (NULL pointers, cleared flags).
+    Zero,
+    /// Strictly negative (underflowed counters).
+    Negative,
+    /// In `1..=255` (small counts, characters).
+    SmallPositive,
+    /// Greater than 255 (large values, pointers).
+    LargePositive,
+}
+
+impl ValueRange {
+    /// Buckets a value.
+    pub fn of(v: Value) -> ValueRange {
+        if v == 0 {
+            ValueRange::Zero
+        } else if v < 0 {
+            ValueRange::Negative
+        } else if v <= 255 {
+            ValueRange::SmallPositive
+        } else {
+            ValueRange::LargePositive
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueRange::Zero => "== 0",
+            ValueRange::Negative => "< 0",
+            ValueRange::SmallPositive => "in 1..=255",
+            ValueRange::LargePositive => "> 255",
+        }
+    }
+}
+
+/// Everything Gist's server collects from one production run for the
+/// statistical analysis.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunObservations {
+    /// Did this run exhibit the failure under diagnosis?
+    pub failing: bool,
+    /// Watchpoint hit log (globally ordered).
+    pub accesses: Vec<Access>,
+    /// Branch outcomes at tracked statements.
+    pub branches: Vec<(InstrId, bool)>,
+    /// Values observed at tracked statements.
+    pub values: Vec<(InstrId, Value)>,
+}
+
+/// Extracts the set of predictor instances present in one run.
+///
+/// Concurrency patterns are found per address in the globally ordered
+/// access log, exactly as in the paper's Fig. 6 example: for every access
+/// `b`, the latest earlier conflicting access from another thread forms a
+/// race pair; every pair of consecutive same-thread accesses with a remote
+/// access in between forms an atomicity-violation candidate.
+pub fn extract_predictors(obs: &RunObservations) -> BTreeSet<Predictor> {
+    let mut out = BTreeSet::new();
+    // Group accesses by address, keeping global order.
+    let mut addrs: Vec<u64> = obs.accesses.iter().map(|a| a.addr).collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    for addr in addrs {
+        let seq: Vec<&Access> = obs.accesses.iter().filter(|a| a.addr == addr).collect();
+        // Race pairs.
+        for (i, b) in seq.iter().enumerate() {
+            if let Some(a) = seq[..i].iter().rev().find(|a| a.tid != b.tid) {
+                if let Some(pattern) = RacePattern::classify(a.rw, b.rw) {
+                    out.insert(Predictor::Race {
+                        pattern,
+                        first: a.iid,
+                        second: b.iid,
+                    });
+                }
+            }
+        }
+        // Atomicity-violation triples: consecutive same-thread pairs with
+        // an interleaved remote access.
+        for (i, a) in seq.iter().enumerate() {
+            // Find the next access by the same thread.
+            let mut next_same: Option<usize> = None;
+            for (j, c) in seq.iter().enumerate().skip(i + 1) {
+                if c.tid == a.tid {
+                    next_same = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = next_same {
+                let c = seq[j];
+                for b in &seq[i + 1..j] {
+                    if b.tid == a.tid {
+                        continue;
+                    }
+                    if let Some(pattern) = AvPattern::classify(a.rw, b.rw, c.rw) {
+                        out.insert(Predictor::Atomicity {
+                            pattern,
+                            first: a.iid,
+                            remote: b.iid,
+                            second: c.iid,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for &(stmt, taken) in &obs.branches {
+        out.insert(Predictor::Branch { stmt, taken });
+    }
+    for &(stmt, value) in &obs.values {
+        out.insert(Predictor::Value { stmt, value });
+        out.insert(Predictor::ValueRange {
+            stmt,
+            range: ValueRange::of(value),
+        });
+    }
+    // Values observed by watchpoints are value (and range) predictors too.
+    for a in &obs.accesses {
+        out.insert(Predictor::Value {
+            stmt: a.iid,
+            value: a.value,
+        });
+        out.insert(Predictor::ValueRange {
+            stmt: a.iid,
+            range: ValueRange::of(a.value),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(seq: u64, tid: u32, iid: u32, rw: Rw) -> Access {
+        Access {
+            seq,
+            tid,
+            iid: InstrId(iid),
+            addr: 0x10,
+            rw,
+            value: 0,
+        }
+    }
+
+    /// The paper's Fig. 6: T1 reads x; T2 writes x; T1 reads x twice.
+    /// Expected: one RWR atomicity violation and two WR races.
+    #[test]
+    fn figure6_example() {
+        let obs = RunObservations {
+            failing: true,
+            accesses: vec![
+                acc(1, 1, 100, Rw::R), // T1: read x
+                acc(2, 2, 200, Rw::W), // T2: write x
+                acc(3, 1, 101, Rw::R), // T1: read x (1)
+                acc(4, 1, 102, Rw::R), // T1: read x (2)
+            ],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        let rwr = preds.iter().any(|p| {
+            matches!(
+                p,
+                Predictor::Atomicity {
+                    pattern: AvPattern::Rwr,
+                    first: InstrId(100),
+                    remote: InstrId(200),
+                    second: InstrId(101),
+                }
+            )
+        });
+        assert!(rwr, "RWR of Fig. 6(b): {preds:?}");
+        let wr1 = preds.contains(&Predictor::Race {
+            pattern: RacePattern::Wr,
+            first: InstrId(200),
+            second: InstrId(101),
+        });
+        let wr2 = preds.contains(&Predictor::Race {
+            pattern: RacePattern::Wr,
+            first: InstrId(200),
+            second: InstrId(102),
+        });
+        assert!(wr1, "WR race of Fig. 6(c)");
+        assert!(wr2, "WR race of Fig. 6(d)");
+        // Also the RW race from T1's first read to T2's write.
+        assert!(preds.contains(&Predictor::Race {
+            pattern: RacePattern::Rw,
+            first: InstrId(100),
+            second: InstrId(200),
+        }));
+    }
+
+    #[test]
+    fn no_remote_interleaving_no_patterns() {
+        let obs = RunObservations {
+            failing: false,
+            accesses: vec![
+                acc(1, 1, 100, Rw::R),
+                acc(2, 1, 101, Rw::W),
+                acc(3, 1, 102, Rw::R),
+            ],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(
+            !preds
+                .iter()
+                .any(|p| matches!(p, Predictor::Atomicity { .. } | Predictor::Race { .. })),
+            "single-thread log has no concurrency predictors"
+        );
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let obs = RunObservations {
+            failing: false,
+            accesses: vec![acc(1, 1, 100, Rw::R), acc(2, 2, 200, Rw::R)],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(!preds.iter().any(|p| matches!(p, Predictor::Race { .. })));
+    }
+
+    #[test]
+    fn wrw_pattern_detected() {
+        let obs = RunObservations {
+            failing: true,
+            accesses: vec![
+                acc(1, 1, 100, Rw::W),
+                acc(2, 2, 200, Rw::R),
+                acc(3, 1, 101, Rw::W),
+            ],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(preds.iter().any(|p| matches!(
+            p,
+            Predictor::Atomicity {
+                pattern: AvPattern::Wrw,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_mix() {
+        let mut a1 = acc(1, 1, 100, Rw::R);
+        let mut a2 = acc(2, 2, 200, Rw::W);
+        let mut a3 = acc(3, 1, 101, Rw::R);
+        a1.addr = 0x10;
+        a2.addr = 0x20; // different variable
+        a3.addr = 0x10;
+        let obs = RunObservations {
+            failing: true,
+            accesses: vec![a1, a2, a3],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(
+            !preds
+                .iter()
+                .any(|p| matches!(p, Predictor::Atomicity { .. } | Predictor::Race { .. })),
+            "accesses to different variables form no single-variable pattern"
+        );
+    }
+
+    #[test]
+    fn branch_and_value_predictors_extracted() {
+        let obs = RunObservations {
+            failing: true,
+            branches: vec![(InstrId(5), true), (InstrId(5), false)],
+            values: vec![(InstrId(9), 0)],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(preds.contains(&Predictor::Branch {
+            stmt: InstrId(5),
+            taken: true
+        }));
+        assert!(preds.contains(&Predictor::Branch {
+            stmt: InstrId(5),
+            taken: false
+        }));
+        assert!(preds.contains(&Predictor::Value {
+            stmt: InstrId(9),
+            value: 0
+        }));
+    }
+
+    #[test]
+    fn access_values_become_value_predictors() {
+        let mut a = acc(1, 1, 100, Rw::R);
+        a.value = 42;
+        let obs = RunObservations {
+            failing: false,
+            accesses: vec![a],
+            ..Default::default()
+        };
+        let preds = extract_predictors(&obs);
+        assert!(preds.contains(&Predictor::Value {
+            stmt: InstrId(100),
+            value: 42
+        }));
+    }
+
+    #[test]
+    fn value_ranges_bucket_correctly() {
+        assert_eq!(ValueRange::of(0), ValueRange::Zero);
+        assert_eq!(ValueRange::of(-7), ValueRange::Negative);
+        assert_eq!(ValueRange::of(1), ValueRange::SmallPositive);
+        assert_eq!(ValueRange::of(255), ValueRange::SmallPositive);
+        assert_eq!(ValueRange::of(256), ValueRange::LargePositive);
+        assert_eq!(ValueRange::Zero.name(), "== 0");
+    }
+
+    #[test]
+    fn range_predictors_generalize_across_exact_values() {
+        // Two failing runs observe *different* dangling addresses; the
+        // exact-value predictors differ but the range predictor is shared.
+        let run = |v: i64| RunObservations {
+            failing: true,
+            values: vec![(InstrId(4), v)],
+            ..Default::default()
+        };
+        let a = extract_predictors(&run(0x0010_0001));
+        let b = extract_predictors(&run(0x0020_0099));
+        let shared: Vec<_> = a.intersection(&b).collect();
+        assert!(shared.contains(&&Predictor::ValueRange {
+            stmt: InstrId(4),
+            range: ValueRange::LargePositive
+        }));
+        // The exact values do not intersect.
+        assert!(!shared.iter().any(|p| matches!(p, Predictor::Value { .. })));
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(
+            Predictor::Branch {
+                stmt: InstrId(0),
+                taken: true
+            }
+            .category(),
+            "branch"
+        );
+        assert_eq!(
+            Predictor::Race {
+                pattern: RacePattern::Ww,
+                first: InstrId(0),
+                second: InstrId(1)
+            }
+            .category(),
+            "order"
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Statistical ranking of failure predictors (precision, recall, Fβ).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::{extract_predictors, Predictor, RunObservations};
+
+/// The precision-favoring β the paper uses ("Gist favors precision by
+/// setting β to 0.5", §3.3).
+pub const DEFAULT_BETA: f64 = 0.5;
+
+/// Occurrence counts and scores for one predictor across all runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// The predictor.
+    pub predictor: Predictor,
+    /// Failing runs in which it occurred.
+    pub in_failing: usize,
+    /// Successful runs in which it occurred.
+    pub in_successful: usize,
+    /// Total failing runs.
+    pub total_failing: usize,
+    /// Total successful runs.
+    pub total_successful: usize,
+}
+
+impl PredictorStats {
+    /// Precision: of the runs predicted to fail (predictor present), how
+    /// many failed?
+    pub fn precision(&self) -> f64 {
+        let predicted = self.in_failing + self.in_successful;
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.in_failing as f64 / predicted as f64
+    }
+
+    /// Recall: of the failing runs, how many were predicted (predictor
+    /// present)?
+    pub fn recall(&self) -> f64 {
+        if self.total_failing == 0 {
+            return 0.0;
+        }
+        self.in_failing as f64 / self.total_failing as f64
+    }
+
+    /// Fβ = (1+β²)·P·R / (β²·P + R).
+    pub fn f_measure(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p + r == 0.0 || b2 * p + r == 0.0 {
+            return 0.0;
+        }
+        (1.0 + b2) * p * r / (b2 * p + r)
+    }
+}
+
+/// Counts predictor occurrences across runs and ranks by Fβ (descending),
+/// breaking ties toward predictors that occur in fewer successful runs.
+pub fn rank(runs: &[RunObservations], beta: f64) -> Vec<PredictorStats> {
+    let total_failing = runs.iter().filter(|r| r.failing).count();
+    let total_successful = runs.len() - total_failing;
+    let mut counts: BTreeMap<Predictor, (usize, usize)> = BTreeMap::new();
+    for run in runs {
+        let preds: BTreeSet<Predictor> = extract_predictors(run);
+        for p in preds {
+            let e = counts.entry(p).or_insert((0, 0));
+            if run.failing {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let mut stats: Vec<PredictorStats> = counts
+        .into_iter()
+        .map(|(predictor, (in_failing, in_successful))| PredictorStats {
+            predictor,
+            in_failing,
+            in_successful,
+            total_failing,
+            total_successful,
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        b.f_measure(beta)
+            .partial_cmp(&a.f_measure(beta))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.in_successful.cmp(&b.in_successful))
+            .then(a.predictor.cmp(&b.predictor))
+    });
+    stats
+}
+
+/// The best predictor per category ("the failure sketch presents the
+/// developer with the highest-ranked failure predictors for each type",
+/// §3.3): order (atomicity/race), branch, value.
+pub fn top_by_category(
+    stats: &[PredictorStats],
+    beta: f64,
+) -> BTreeMap<&'static str, PredictorStats> {
+    let mut out: BTreeMap<&'static str, PredictorStats> = BTreeMap::new();
+    for s in stats {
+        let cat = s.predictor.category();
+        if s.f_measure(beta) <= 0.0 {
+            continue;
+        }
+        if !out.contains_key(cat) {
+            out.insert(cat, s.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Access, Rw};
+    use gist_ir::InstrId;
+
+    fn run_with_value(failing: bool, value: i64) -> RunObservations {
+        RunObservations {
+            failing,
+            values: vec![(InstrId(1), value)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one() {
+        // value==0 in every failing run, never in successful runs.
+        let runs = vec![
+            run_with_value(true, 0),
+            run_with_value(true, 0),
+            run_with_value(false, 7),
+            run_with_value(false, 8),
+        ];
+        let stats = rank(&runs, DEFAULT_BETA);
+        let top = &stats[0];
+        assert_eq!(
+            top.predictor,
+            Predictor::Value {
+                stmt: InstrId(1),
+                value: 0
+            }
+        );
+        assert!((top.precision() - 1.0).abs() < 1e-9);
+        assert!((top.recall() - 1.0).abs() < 1e-9);
+        assert!((top.f_measure(DEFAULT_BETA) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_predictor_ranks_below_clean_one() {
+        // "value 0" occurs in both failing runs; "value 5" occurs in one
+        // failing and one successful run.
+        let runs = vec![
+            RunObservations {
+                failing: true,
+                values: vec![(InstrId(1), 0), (InstrId(2), 5)],
+                ..Default::default()
+            },
+            RunObservations {
+                failing: true,
+                values: vec![(InstrId(1), 0)],
+                ..Default::default()
+            },
+            RunObservations {
+                failing: false,
+                values: vec![(InstrId(2), 5)],
+                ..Default::default()
+            },
+        ];
+        let stats = rank(&runs, DEFAULT_BETA);
+        let f_of = |stmt: u32, value: i64| {
+            stats
+                .iter()
+                .find(|s| {
+                    s.predictor
+                        == Predictor::Value {
+                            stmt: InstrId(stmt),
+                            value,
+                        }
+                })
+                .map(|s| s.f_measure(DEFAULT_BETA))
+                .unwrap()
+        };
+        assert_eq!(
+            stats[0].predictor.category(),
+            "value",
+            "top predictor is a value predicate: {:?}",
+            stats[0].predictor
+        );
+        assert!(
+            f_of(1, 0) > f_of(2, 5),
+            "the clean predictor outranks the noisy one"
+        );
+    }
+
+    #[test]
+    fn beta_half_favors_precision() {
+        // Predictor A: P=1.0, R=0.5. Predictor B: P=0.5, R=1.0.
+        let a = PredictorStats {
+            predictor: Predictor::Value {
+                stmt: InstrId(1),
+                value: 0,
+            },
+            in_failing: 1,
+            in_successful: 0,
+            total_failing: 2,
+            total_successful: 2,
+        };
+        let b = PredictorStats {
+            predictor: Predictor::Value {
+                stmt: InstrId(2),
+                value: 0,
+            },
+            in_failing: 2,
+            in_successful: 2,
+            total_failing: 2,
+            total_successful: 2,
+        };
+        assert!(
+            a.f_measure(0.5) > b.f_measure(0.5),
+            "β=0.5 prefers the precise predictor"
+        );
+        assert!(
+            a.f_measure(2.0) < b.f_measure(2.0),
+            "β=2 would prefer the high-recall predictor"
+        );
+    }
+
+    #[test]
+    fn concurrency_predictor_separates_schedules() {
+        // Failing runs contain the RWR interleaving; successful runs have
+        // the same accesses without the remote write in between.
+        let failing = RunObservations {
+            failing: true,
+            accesses: vec![
+                Access {
+                    seq: 1,
+                    tid: 1,
+                    iid: InstrId(10),
+                    addr: 8,
+                    rw: Rw::R,
+                    value: 1,
+                },
+                Access {
+                    seq: 2,
+                    tid: 2,
+                    iid: InstrId(20),
+                    addr: 8,
+                    rw: Rw::W,
+                    value: 0,
+                },
+                Access {
+                    seq: 3,
+                    tid: 1,
+                    iid: InstrId(11),
+                    addr: 8,
+                    rw: Rw::R,
+                    value: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let successful = RunObservations {
+            failing: false,
+            accesses: vec![
+                Access {
+                    seq: 1,
+                    tid: 1,
+                    iid: InstrId(10),
+                    addr: 8,
+                    rw: Rw::R,
+                    value: 1,
+                },
+                Access {
+                    seq: 2,
+                    tid: 1,
+                    iid: InstrId(11),
+                    addr: 8,
+                    rw: Rw::R,
+                    value: 1,
+                },
+                Access {
+                    seq: 3,
+                    tid: 2,
+                    iid: InstrId(20),
+                    addr: 8,
+                    rw: Rw::W,
+                    value: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let runs = vec![failing.clone(), failing, successful.clone(), successful];
+        let stats = rank(&runs, DEFAULT_BETA);
+        let top = &stats[0];
+        assert!(
+            matches!(top.predictor, Predictor::Atomicity { .. }),
+            "top predictor should be the atomicity violation, got {:?}",
+            top.predictor
+        );
+        assert!((top.f_measure(DEFAULT_BETA) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_by_category_returns_one_each() {
+        let runs = vec![
+            RunObservations {
+                failing: true,
+                branches: vec![(InstrId(3), true)],
+                values: vec![(InstrId(1), 0)],
+                ..Default::default()
+            },
+            RunObservations {
+                failing: false,
+                branches: vec![(InstrId(3), false)],
+                values: vec![(InstrId(1), 9)],
+                ..Default::default()
+            },
+        ];
+        let stats = rank(&runs, DEFAULT_BETA);
+        let tops = top_by_category(&stats, DEFAULT_BETA);
+        assert!(tops.contains_key("branch"));
+        assert!(tops.contains_key("value"));
+        assert!(!tops.contains_key("order"));
+    }
+
+    #[test]
+    fn empty_runs_produce_no_stats() {
+        let stats = rank(&[], DEFAULT_BETA);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn predictor_absent_from_failing_runs_scores_zero() {
+        let runs = vec![run_with_value(true, 1), run_with_value(false, 2)];
+        let stats = rank(&runs, DEFAULT_BETA);
+        let bad = stats
+            .iter()
+            .find(|s| {
+                s.predictor
+                    == Predictor::Value {
+                        stmt: InstrId(1),
+                        value: 2,
+                    }
+            })
+            .unwrap();
+        assert_eq!(bad.f_measure(DEFAULT_BETA), 0.0);
+        // And it ranks last.
+        assert_eq!(stats.last().unwrap().predictor, bad.predictor);
+    }
+}

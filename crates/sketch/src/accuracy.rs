@@ -1,0 +1,166 @@
+//! Sketch accuracy versus a hand-built ideal sketch (§5.2).
+
+use gist_ir::InstrId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+use crate::kendall::kendall_tau_counts;
+use crate::sketch::FailureSketch;
+
+/// An ideal failure sketch, hand-computed per the paper's definition
+/// (§3.2): only statements with control/data dependencies to the failure,
+/// plus the highest-correlation failure-predicting events.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IdealSketch {
+    /// The ideal statement set.
+    pub stmts: Vec<InstrId>,
+    /// The ideal partial order of memory-access statements (the order a
+    /// correct sketch must reproduce), as an ordered list.
+    pub access_order: Vec<InstrId>,
+    /// Ideal sketch size in source lines (Table 1's source-LOC column).
+    pub source_loc: usize,
+}
+
+/// Accuracy of a computed sketch against the ideal.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Relevance `A_R = 100·|G∩I|/|G∪I|` (percent).
+    pub relevance: f64,
+    /// Ordering `A_O = 100·(1 − τ/pairs)` (percent).
+    pub ordering: f64,
+}
+
+impl Accuracy {
+    /// Overall accuracy `A = (A_R + A_O)/2` (§5.2: "equally favors A_O and
+    /// A_R").
+    pub fn overall(&self) -> f64 {
+        (self.relevance + self.ordering) / 2.0
+    }
+}
+
+/// Measures a Gist-computed sketch against the ideal sketch.
+///
+/// `gist_access_order` is the computed sketch's memory-access statement
+/// order (by sketch step); relevance uses the sketch's statement set.
+pub fn measure(gist: &FailureSketch, ideal: &IdealSketch) -> Accuracy {
+    let g: HashSet<InstrId> = gist.stmts().into_iter().collect();
+    let i: HashSet<InstrId> = ideal.stmts.iter().copied().collect();
+    let inter = g.intersection(&i).count();
+    let union = g.union(&i).count();
+    let relevance = if union == 0 {
+        100.0
+    } else {
+        100.0 * inter as f64 / union as f64
+    };
+    // Ordering over shared access statements.
+    let gist_order: Vec<InstrId> = gist
+        .steps
+        .iter()
+        .map(|s| s.stmt)
+        .filter(|s| ideal.access_order.contains(s))
+        .collect();
+    let (d, p) = kendall_tau_counts(&gist_order, &ideal.access_order);
+    let ordering = if p == 0 {
+        100.0
+    } else {
+        100.0 * (1.0 - d as f64 / p as f64)
+    };
+    Accuracy {
+        relevance,
+        ordering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchStep;
+
+    fn sketch_of(stmts: &[u32]) -> FailureSketch {
+        FailureSketch {
+            steps: stmts
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| SketchStep {
+                    step: i + 1,
+                    tid: 0,
+                    stmt: InstrId(s),
+                    text: String::new(),
+                    loc: String::new(),
+                    highlight: false,
+                    grey: false,
+                    value_note: None,
+                })
+                .collect(),
+            threads: vec![0],
+            ..Default::default()
+        }
+    }
+
+    fn ideal_of(stmts: &[u32], order: &[u32]) -> IdealSketch {
+        IdealSketch {
+            stmts: stmts.iter().map(|&s| InstrId(s)).collect(),
+            access_order: order.iter().map(|&s| InstrId(s)).collect(),
+            source_loc: stmts.len(),
+        }
+    }
+
+    #[test]
+    fn perfect_match_is_100() {
+        let g = sketch_of(&[1, 2, 3]);
+        let i = ideal_of(&[1, 2, 3], &[1, 2, 3]);
+        let a = measure(&g, &i);
+        assert_eq!(a.relevance, 100.0);
+        assert_eq!(a.ordering, 100.0);
+        assert_eq!(a.overall(), 100.0);
+    }
+
+    #[test]
+    fn excess_statements_lower_relevance_only() {
+        // Gist tracked a prefix of extra statements (the Fig. 8 grey
+        // prefix): 4 shared + 2 excess over 4 ideal -> AR = 4/6.
+        let g = sketch_of(&[10, 11, 1, 2, 3, 4]);
+        let i = ideal_of(&[1, 2, 3, 4], &[1, 2, 3, 4]);
+        let a = measure(&g, &i);
+        assert!((a.relevance - 100.0 * 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(a.ordering, 100.0);
+    }
+
+    #[test]
+    fn missing_statements_lower_relevance() {
+        let g = sketch_of(&[1, 2]);
+        let i = ideal_of(&[1, 2, 3, 4], &[1, 2]);
+        let a = measure(&g, &i);
+        assert!((a.relevance - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_order_lowers_ordering() {
+        let g = sketch_of(&[1, 3, 2]);
+        let i = ideal_of(&[1, 2, 3], &[1, 2, 3]);
+        let a = measure(&g, &i);
+        assert_eq!(a.relevance, 100.0);
+        // One of three pairs disagrees.
+        assert!((a.ordering - 100.0 * (1.0 - 1.0 / 3.0)).abs() < 1e-9);
+        assert!((a.overall() - (100.0 + a.ordering) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_only_over_ideal_access_stmts() {
+        // Statement 9 is in the sketch but not an ideal access statement;
+        // it must not affect ordering.
+        let g = sketch_of(&[9, 2, 1]);
+        let i = ideal_of(&[1, 2, 9], &[2, 1]);
+        let a = measure(&g, &i);
+        assert_eq!(a.ordering, 100.0);
+    }
+
+    #[test]
+    fn single_common_stmt_gives_full_ordering() {
+        let g = sketch_of(&[1]);
+        let i = ideal_of(&[1], &[1]);
+        let a = measure(&g, &i);
+        assert_eq!(a.ordering, 100.0);
+        assert_eq!(a.relevance, 100.0);
+    }
+}

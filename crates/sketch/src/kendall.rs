@@ -1,0 +1,112 @@
+//! Normalized Kendall tau distance between two orderings.
+//!
+//! The paper measures ordering accuracy with "the normalized Kendall tau
+//! distance, which measures the number of pairwise disagreements between
+//! two ordered lists" (§5.2), restricted to the elements both lists share.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Computes `(disagreeing pairs, total pairs)` between the orderings of
+/// the elements common to `a` and `b`. Elements appearing multiple times
+/// are ranked by first occurrence.
+pub fn kendall_tau_counts<T: Eq + Hash + Copy>(a: &[T], b: &[T]) -> (usize, usize) {
+    let rank = |xs: &[T]| -> HashMap<T, usize> {
+        let mut m = HashMap::new();
+        for (i, &x) in xs.iter().enumerate() {
+            m.entry(x).or_insert(i);
+        }
+        m
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    // Common elements, in `a`'s order.
+    let mut common: Vec<T> = Vec::new();
+    {
+        let mut seen = HashMap::new();
+        for &x in a {
+            if rb.contains_key(&x) && seen.insert(x, ()).is_none() {
+                common.push(x);
+            }
+        }
+    }
+    let n = common.len();
+    if n < 2 {
+        return (0, 0);
+    }
+    let mut disagreements = 0;
+    let mut pairs = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (x, y) = (common[i], common[j]);
+            let a_order = ra[&x] < ra[&y];
+            let b_order = rb[&x] < rb[&y];
+            pairs += 1;
+            if a_order != b_order {
+                disagreements += 1;
+            }
+        }
+    }
+    (disagreements, pairs)
+}
+
+/// The normalized Kendall tau distance in `[0, 1]` (0 = same order).
+/// Returns 0 when fewer than two common elements exist (the paper notes
+/// the pair count "can't be zero" in their setting because the failing
+/// instruction is always shared; we are defensive anyway).
+pub fn normalized_kendall_tau<T: Eq + Hash + Copy>(a: &[T], b: &[T]) -> f64 {
+    let (d, p) = kendall_tau_counts(a, b);
+    if p == 0 {
+        0.0
+    } else {
+        d as f64 / p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's example: <A,B,C> vs <A,C,B> has τ = 1 disagreement
+    /// (the (B,C) pair) out of 3 pairs.
+    #[test]
+    fn paper_example() {
+        let (d, p) = kendall_tau_counts(&["A", "B", "C"], &["A", "C", "B"]);
+        assert_eq!(d, 1);
+        assert_eq!(p, 3);
+        assert!(
+            (normalized_kendall_tau(&["A", "B", "C"], &["A", "C", "B"]) - 1.0 / 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn identical_orderings_have_zero_distance() {
+        assert_eq!(normalized_kendall_tau(&[1, 2, 3, 4], &[1, 2, 3, 4]), 0.0);
+    }
+
+    #[test]
+    fn reversed_orderings_have_distance_one() {
+        assert_eq!(normalized_kendall_tau(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn restricted_to_common_elements() {
+        // b lacks 2; only pairs over {1,3} are counted.
+        let (d, p) = kendall_tau_counts(&[1, 2, 3], &[3, 1]);
+        assert_eq!(p, 1);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn fewer_than_two_common_is_zero() {
+        assert_eq!(normalized_kendall_tau(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(normalized_kendall_tau::<i32>(&[], &[]), 0.0);
+        assert_eq!(normalized_kendall_tau(&[5], &[5]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_ranked_by_first_occurrence() {
+        let (d, p) = kendall_tau_counts(&[1, 2, 1], &[1, 2]);
+        assert_eq!((d, p), (0, 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Failure sketches: construction-side data structures, the text renderer
+//! that reproduces the look of the paper's Figs. 1, 7 and 8, and the
+//! accuracy metrics of §5.2.
+//!
+//! A failure sketch is "a high level execution trace that includes the
+//! statements that lead to a failure and the differences between the
+//! properties of failing and successful program executions". Its elements:
+//!
+//! * time flows downward, steps enumerated along the flow,
+//! * one column per thread, statements placed at their step,
+//! * the *differences* between failing and successful runs — the
+//!   highest-F-measure failure predictors — are marked (the paper's dotted
+//!   rectangles; here `[[ ... ]]`),
+//! * data values appear in a value column (e.g. `f->mut = 0` at step 7 of
+//!   Fig. 1),
+//! * statements that Gist tracked but that are not part of the *ideal*
+//!   sketch render grey (here a `~` prefix), as in Fig. 8.
+//!
+//! Accuracy ([`accuracy`]) compares a Gist-computed sketch against a
+//! hand-built ideal sketch: relevance `A_R = 100·|G∩I|/|G∪I|`, ordering
+//! `A_O = 100·(1 − τ/#pairs)` with τ the Kendall tau distance over shared
+//! memory-access statements, and overall `A = (A_R + A_O)/2`.
+
+pub mod accuracy;
+pub mod kendall;
+pub mod render;
+pub mod sketch;
+
+pub use accuracy::{Accuracy, IdealSketch};
+pub use kendall::normalized_kendall_tau;
+pub use sketch::{FailureSketch, SketchStep};

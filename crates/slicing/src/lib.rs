@@ -1,0 +1,34 @@
+//! Static backward slicing — the paper's Algorithm 1.
+//!
+//! Given a failure report, Gist "computes a backward slice by computing the
+//! set of program statements that potentially affect the statement where
+//! the failure occurs" (§3). The slicer here matches the paper's stated
+//! design points:
+//!
+//! * **Interprocedural**: failure sketches span function boundaries; call
+//!   sites feed callee parameters (`getArgValues`) and callee returns feed
+//!   call results (`getRetValues`), and the walk crosses call, return, and
+//!   thread-creation edges of the [TICFG](gist_ir::icfg).
+//! * **Path-insensitive**: no per-path constraint solving; precise path
+//!   information is recovered at runtime by Intel PT control-flow tracking
+//!   (§3.2.2).
+//! * **Flow-sensitive**: only statements that are backward-reachable from
+//!   the failure location participate, and the slice is ordered by
+//!   backward distance from the failure — the order in which Adaptive
+//!   Slice Tracking extends its tracked window (§3.2.1).
+//! * **No alias analysis** (§3.1): pointer-based stores are *not* matched
+//!   to loads statically; the runtime watchpoint unit discovers the missed
+//!   statements and refinement adds them (§3.2.3). Only syntactically
+//!   evident matches (accesses naming the same global) are linked
+//!   statically.
+//! * **Control dependences** are included: a slice statement pulls in the
+//!   conditional branches that decide its execution, which is what makes
+//!   "branches taken" available as failure predictors (§3.3).
+
+pub mod cdep;
+pub mod items;
+pub mod slicer;
+
+pub use cdep::ControlDeps;
+pub use items::SliceItem;
+pub use slicer::{Slice, StaticSlicer};

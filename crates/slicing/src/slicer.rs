@@ -1,0 +1,639 @@
+//! The backward slicer (Algorithm 1) and the [`Slice`] it produces.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use gist_ir::icfg::Icfg;
+use gist_ir::{InstrId, Op, Operand, Program, Terminator};
+
+use crate::cdep::ControlDeps;
+use crate::items::{stmt_uses, DefUse, SliceItem};
+
+/// A static backward slice: the statements that may affect the failing
+/// statement, ordered by backward distance from it.
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// The slicing criterion (the failing statement).
+    pub criterion: InstrId,
+    /// Slice statements sorted by distance from the criterion (the
+    /// criterion itself first). AsT's σ-prefix tracks `ordered[..σ]`.
+    pub ordered: Vec<InstrId>,
+    members: HashSet<InstrId>,
+}
+
+impl Slice {
+    /// Builds a slice from an unordered member set plus a distance metric.
+    fn new(criterion: InstrId, members: HashSet<InstrId>, dist: &HashMap<InstrId, u64>) -> Slice {
+        let mut ordered: Vec<InstrId> = members.iter().copied().collect();
+        ordered.sort_by_key(|s| (dist.get(s).copied().unwrap_or(u64::MAX), s.0));
+        Slice {
+            criterion,
+            ordered,
+            members,
+        }
+    }
+
+    /// Number of statements in the slice (IR unit of Table 1).
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True if the slice is empty (cannot happen for a valid criterion).
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: InstrId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// The first `sigma` statements backward from the failure — the portion
+    /// AsT tracks in one iteration (§3.2.1).
+    pub fn prefix(&self, sigma: usize) -> &[InstrId] {
+        &self.ordered[..sigma.min(self.ordered.len())]
+    }
+
+    /// Distinct source lines covered (source-LOC unit of Table 1).
+    pub fn source_loc_count(&self, program: &Program) -> usize {
+        program.source_loc_count(self.ordered.iter())
+    }
+
+    /// Slice statements in program order (for display).
+    pub fn in_program_order(&self) -> Vec<InstrId> {
+        let mut v = self.ordered.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The static slicer. Holds the program-wide analyses so multiple slices
+/// can be computed cheaply (Gist's server reuses them across failures).
+pub struct StaticSlicer<'p> {
+    program: &'p Program,
+    ticfg: Icfg,
+    defuse: DefUse,
+    cdeps: ControlDeps,
+}
+
+impl<'p> StaticSlicer<'p> {
+    /// Builds the slicer's analyses (TICFG, def/use, control deps).
+    pub fn new(program: &'p Program) -> StaticSlicer<'p> {
+        StaticSlicer {
+            program,
+            ticfg: Icfg::build_ticfg(program),
+            defuse: DefUse::build(program),
+            cdeps: ControlDeps::build(program),
+        }
+    }
+
+    /// The TICFG (shared with the instrumentation planner).
+    pub fn ticfg(&self) -> &Icfg {
+        &self.ticfg
+    }
+
+    /// Computes the backward-feasible statement set and distances.
+    ///
+    /// Feasibility is backward reachability in the TICFG *plus* the
+    /// concurrent extension: any statement forward-reachable from a spawn
+    /// that is itself backward-reachable may interleave with the failing
+    /// thread (this is what puts `main`'s `f->mut = NULL` into the pbzip2
+    /// slice even though no TICFG path leads from it to the crash in
+    /// `cons`). The TICFG "represents an overapproximation of all the
+    /// possible dynamic control flow behaviors" (§3.1).
+    fn feasible(&self, criterion: InstrId) -> HashMap<InstrId, u64> {
+        let mut dist: HashMap<InstrId, u64> = HashMap::new();
+        // Backward BFS.
+        let mut q = VecDeque::new();
+        dist.insert(criterion, 0);
+        q.push_back(criterion);
+        while let Some(s) = q.pop_front() {
+            let d = dist[&s];
+            for &(p, _) in self.ticfg.preds(s) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(p) {
+                    e.insert(d + 1);
+                    q.push_back(p);
+                }
+            }
+        }
+        // Concurrent extension: forward BFS from backward-reachable spawns.
+        let spawns: Vec<(InstrId, u64)> = dist
+            .iter()
+            .filter(|(s, _)| {
+                self.program
+                    .instr(**s)
+                    .map(|i| matches!(i.op, Op::ThreadCreate { .. }))
+                    .unwrap_or(false)
+            })
+            .map(|(s, d)| (*s, *d))
+            .collect();
+        for (spawn, d0) in spawns {
+            let mut fq = VecDeque::new();
+            fq.push_back((spawn, d0));
+            while let Some((s, d)) = fq.pop_front() {
+                for &(n, _) in self.ticfg.succs(s) {
+                    let nd = d + 1;
+                    let better = dist.get(&n).map(|&old| nd < old).unwrap_or(true);
+                    if better {
+                        dist.insert(n, nd);
+                        fq.push_back((n, nd));
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Computes the backward slice for a failing statement (Algorithm 1).
+    pub fn compute(&self, criterion: InstrId) -> Slice {
+        self.compute_inner(criterion, false)
+    }
+
+    /// Ablation: the slice a *crude may-alias analysis* would produce.
+    ///
+    /// The paper chose not to use static alias analysis because "in
+    /// practice, it can be over 50% inaccurate, which would increase the
+    /// static slice size that Gist would have to monitor at runtime"
+    /// (§3.1). This variant models that choice's alternative: every
+    /// pointer-based memory write in the feasible region may alias every
+    /// pointer-based read that enters the slice, so all of them join the
+    /// slice. Comparing `compute_with_crude_alias(c).len()` against
+    /// `compute(c).len()` quantifies the monitoring blow-up the paper
+    /// avoided (bench: `repro ablations`).
+    pub fn compute_with_crude_alias(&self, criterion: InstrId) -> Slice {
+        self.compute_inner(criterion, true)
+    }
+
+    fn compute_inner(&self, criterion: InstrId, crude_alias: bool) -> Slice {
+        let feasible = self.feasible(criterion);
+        // Crude alias mode: collect every pointer-based memory write once.
+        let aliasing_writes: Vec<InstrId> = if crude_alias {
+            self.program
+                .all_stmt_ids()
+                .filter(|&id| {
+                    self.program
+                        .instr(id)
+                        .map(|i| {
+                            i.op.is_memory_write()
+                                && matches!(i.op.access_addr(), Some(Operand::Var(_)))
+                        })
+                        .unwrap_or(false)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut alias_seeded = false;
+        let mut slice: HashSet<InstrId> = HashSet::new();
+        let mut item_q: VecDeque<SliceItem> = VecDeque::new();
+        let mut seen_items: HashSet<SliceItem> = HashSet::new();
+        let mut stmt_q: VecDeque<InstrId> = VecDeque::new();
+
+        stmt_q.push_back(criterion);
+
+        let push_item =
+            |item: SliceItem, seen: &mut HashSet<SliceItem>, q: &mut VecDeque<SliceItem>| {
+                if seen.insert(item) {
+                    q.push_back(item);
+                }
+            };
+
+        while !stmt_q.is_empty() || !item_q.is_empty() {
+            // Drain newly added statements first: collect their items and
+            // control dependences.
+            while let Some(s) = stmt_q.pop_front() {
+                if !slice.insert(s) {
+                    continue;
+                }
+                for u in stmt_uses(self.program, s) {
+                    push_item(u, &mut seen_items, &mut item_q);
+                }
+                // Crude alias: the first pointer-based read in the slice
+                // pulls in every pointer-based write that may reach it.
+                if crude_alias && !alias_seeded {
+                    let is_ptr_read = self
+                        .program
+                        .instr(s)
+                        .map(|i| {
+                            i.op.is_memory_access()
+                                && matches!(i.op.access_addr(), Some(Operand::Var(_)))
+                        })
+                        .unwrap_or(false);
+                    if is_ptr_read {
+                        alias_seeded = true;
+                        for &w in &aliasing_writes {
+                            if feasible.contains_key(&w) && !slice.contains(&w) {
+                                stmt_q.push_back(w);
+                            }
+                        }
+                    }
+                }
+                // getRetValues: a call whose result is consumed pulls in the
+                // callees' return statements and returned items.
+                if let Some(instr) = self.program.instr(s) {
+                    if let Op::Call { dst: Some(_), .. } = &instr.op {
+                        if let Some(targets) = self.ticfg.call_targets.get(&s) {
+                            for &callee in targets {
+                                for b in &self.program.function(callee).blocks {
+                                    if let Terminator::Ret {
+                                        id, value: Some(v), ..
+                                    } = &b.term
+                                    {
+                                        if feasible.contains_key(id) {
+                                            stmt_q.push_back(*id);
+                                        }
+                                        if let Operand::Var(rv) = v {
+                                            push_item(
+                                                SliceItem::Reg(callee, *rv),
+                                                &mut seen_items,
+                                                &mut item_q,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Control dependences: the branches deciding s.
+                for br in self.cdeps.controlling_branches(self.program, s) {
+                    if feasible.contains_key(&br) && !slice.contains(&br) {
+                        stmt_q.push_back(br);
+                    }
+                }
+            }
+            // Process one item.
+            if let Some(item) = item_q.pop_front() {
+                match item {
+                    SliceItem::Reg(f, v) => {
+                        // Defining statements of the register.
+                        if let Some(defs) = self.defuse.reg_defs.get(&(f, v)) {
+                            for &d in defs {
+                                if feasible.contains_key(&d) && !slice.contains(&d) {
+                                    stmt_q.push_back(d);
+                                }
+                            }
+                        }
+                        // getArgValues: parameters flow from callsites.
+                        let func = self.program.function(f);
+                        if (v.0 as usize) < func.params.len() {
+                            let arg_idx = v.0 as usize;
+                            if let Some(callers) = self.ticfg.callers.get(&f) {
+                                for &cs in callers {
+                                    if !feasible.contains_key(&cs) {
+                                        continue;
+                                    }
+                                    if !slice.contains(&cs) {
+                                        stmt_q.push_back(cs);
+                                    }
+                                    // The actual argument operand.
+                                    if let Some(instr) = self.program.instr(cs) {
+                                        let arg = match &instr.op {
+                                            Op::Call { args, .. } => args.get(arg_idx).copied(),
+                                            Op::ThreadCreate { arg, .. } if arg_idx == 0 => {
+                                                Some(*arg)
+                                            }
+                                            _ => None,
+                                        };
+                                        if let Some(a) = arg {
+                                            let caller =
+                                                self.program.stmt_func(cs).expect("indexed");
+                                            match a {
+                                                Operand::Var(av) => push_item(
+                                                    SliceItem::Reg(caller, av),
+                                                    &mut seen_items,
+                                                    &mut item_q,
+                                                ),
+                                                Operand::Global(g) => push_item(
+                                                    SliceItem::Global(g),
+                                                    &mut seen_items,
+                                                    &mut item_q,
+                                                ),
+                                                Operand::Const(_) => {}
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    SliceItem::Global(g) => {
+                        if let Some(writes) = self.defuse.global_writes.get(&g) {
+                            for &w in writes {
+                                if feasible.contains_key(&w) && !slice.contains(&w) {
+                                    stmt_q.push_back(w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Slice::new(criterion, slice, &feasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_ir::parser::parse_program;
+
+    fn slice_for(text: &str, func: &str, block: usize, idx: usize) -> (Program, Slice) {
+        let p = parse_program("t", text).unwrap();
+        let f = p.function_by_name(func).unwrap();
+        let crit = if idx == usize::MAX {
+            f.blocks[block].term.id()
+        } else {
+            f.blocks[block].instrs[idx].id
+        };
+        let slicer = StaticSlicer::new(&p);
+        let s = slicer.compute(crit);
+        (p, s)
+    }
+
+    #[test]
+    fn straightline_dataflow_chain() {
+        let (p, s) = slice_for(
+            r#"
+fn main() {
+entry:
+  a = const 1
+  b = const 2
+  c = add a, b
+  d = mul c, 2
+  unused = const 99
+  assert d, "boom"
+  ret
+}
+"#,
+            "main",
+            0,
+            5,
+        );
+        let main = &p.functions[0];
+        let names_in_slice: Vec<&str> = main.blocks[0]
+            .instrs
+            .iter()
+            .filter(|i| s.contains(i.id))
+            .filter_map(|i| i.op.def().map(|v| main.var_name(v)))
+            .collect();
+        assert!(names_in_slice.contains(&"a"));
+        assert!(names_in_slice.contains(&"b"));
+        assert!(names_in_slice.contains(&"c"));
+        assert!(names_in_slice.contains(&"d"));
+        assert!(
+            !names_in_slice.contains(&"unused"),
+            "irrelevant statement excluded: {names_in_slice:?}"
+        );
+        // Criterion is first in backward order.
+        assert_eq!(s.ordered[0], s.criterion);
+    }
+
+    #[test]
+    fn interprocedural_through_return_value() {
+        let (p, s) = slice_for(
+            r#"
+fn mk(x) {
+entry:
+  y = add x, 1
+  ret y
+}
+fn main() {
+entry:
+  a = const 41
+  r = call mk(a)
+  assert r, "boom"
+  ret
+}
+"#,
+            "main",
+            0,
+            2,
+        );
+        let mk = p.function_by_name("mk").unwrap();
+        let add_stmt = mk.blocks[0].instrs[0].id;
+        let ret_stmt = mk.blocks[0].term.id();
+        assert!(s.contains(add_stmt), "callee computation in slice");
+        assert!(s.contains(ret_stmt), "callee return in slice");
+        let main = p.function_by_name("main").unwrap();
+        assert!(s.contains(main.blocks[0].instrs[0].id), "argument source");
+        assert!(s.contains(main.blocks[0].instrs[1].id), "the call itself");
+    }
+
+    #[test]
+    fn interprocedural_through_arguments() {
+        // The criterion is inside the callee; the actual argument at the
+        // callsite must be in the slice (getArgValues).
+        let (p, s) = slice_for(
+            r#"
+fn check(v) {
+entry:
+  assert v, "boom"
+  ret
+}
+fn main() {
+entry:
+  a = const 0
+  call check(a)
+  ret
+}
+"#,
+            "check",
+            0,
+            0,
+        );
+        let main = p.function_by_name("main").unwrap();
+        assert!(s.contains(main.blocks[0].instrs[0].id), "a = const 0");
+        assert!(s.contains(main.blocks[0].instrs[1].id), "callsite");
+    }
+
+    #[test]
+    fn globals_link_stores_to_loads() {
+        let (p, s) = slice_for(
+            r#"
+global g = 0
+global other = 0
+fn main() {
+entry:
+  store $g, 7
+  store $other, 8
+  v = load $g
+  assert v, "boom"
+  ret
+}
+"#,
+            "main",
+            0,
+            3,
+        );
+        let main = &p.functions[0];
+        assert!(s.contains(main.blocks[0].instrs[0].id), "store $g");
+        assert!(
+            !s.contains(main.blocks[0].instrs[1].id),
+            "store to unrelated global excluded"
+        );
+    }
+
+    #[test]
+    fn control_dependences_pull_in_branches() {
+        let (p, s) = slice_for(
+            r#"
+global g = 0
+fn main() {
+entry:
+  c = load $g
+  z = cmp eq c, 0
+  condbr z, danger, safe
+danger:
+  x = load 0
+  br safe
+safe:
+  ret
+}
+"#,
+            "main",
+            1,
+            0,
+        );
+        let main = &p.functions[0];
+        let branch = main.blocks[0].term.id();
+        let cmp = main.blocks[0].instrs[1].id;
+        let load_g = main.blocks[0].instrs[0].id;
+        assert!(s.contains(branch), "controlling branch in slice");
+        assert!(s.contains(cmp), "branch condition in slice");
+        assert!(s.contains(load_g), "condition's data source in slice");
+    }
+
+    #[test]
+    fn pbzip2_shape_cross_thread_statements_included() {
+        // Criterion: the lock in cons. The slice must include main's
+        // free/store-NULL even though they are in a sibling thread region.
+        let text = r#"
+fn cons(q) {
+entry:
+  m = load q
+  lock m
+  unlock m
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  mu = alloc 1
+  store q, mu
+  t = spawn cons(q)
+  free mu
+  store q, 0
+  join t
+  ret
+}
+"#;
+        let (p, s) = slice_for(text, "cons", 0, 1);
+        let main = p.function_by_name("main").unwrap();
+        let free_stmt = main.blocks[0].instrs[4].id;
+        let store_null = main.blocks[0].instrs[5].id;
+        let spawn_stmt = main.blocks[0].instrs[3].id;
+        let alloc_q = main.blocks[0].instrs[0].id;
+        assert!(s.contains(spawn_stmt), "spawn in slice (arg source)");
+        assert!(s.contains(alloc_q), "q's allocation in slice");
+        let cons = p.function_by_name("cons").unwrap();
+        assert!(s.contains(cons.blocks[0].instrs[0].id), "m = load q");
+        // The root-cause stores write through *pointer registers*; with no
+        // alias analysis they are NOT in the static slice — exactly the
+        // paper's design (§3.1). Runtime watchpoints discover them and
+        // refinement adds them (§3.2.3); gist-core tests cover that.
+        assert!(!s.contains(store_null), "aliasing store missed statically");
+        assert!(!s.contains(free_stmt), "aliasing free missed statically");
+    }
+
+    #[test]
+    fn sigma_prefix_is_distance_ordered() {
+        let (_, s) = slice_for(
+            r#"
+fn main() {
+entry:
+  a = const 1
+  b = add a, 1
+  c = add b, 1
+  assert c, "boom"
+  ret
+}
+"#,
+            "main",
+            0,
+            3,
+        );
+        assert_eq!(s.prefix(1), &[s.criterion]);
+        assert_eq!(s.prefix(2).len(), 2);
+        assert!(s.prefix(100).len() <= s.len());
+        // Distances weakly increase along `ordered`.
+        assert_eq!(s.ordered[0], s.criterion);
+    }
+
+    #[test]
+    fn unreachable_code_is_not_in_slice() {
+        let (p, s) = slice_for(
+            r#"
+global g = 0
+fn never() {
+entry:
+  store $g, 1
+  ret
+}
+fn main() {
+entry:
+  v = load $g
+  assert v, "boom"
+  ret
+}
+"#,
+            "main",
+            0,
+            1,
+        );
+        // `never` is never called: its store is not backward-feasible.
+        let never = p.function_by_name("never").unwrap();
+        assert!(
+            !s.contains(never.blocks[0].instrs[0].id),
+            "store in uncalled function excluded by flow-sensitivity"
+        );
+    }
+
+    #[test]
+    fn no_alias_analysis_pointer_stores_missed() {
+        // A store through a pointer that aliases the loaded location is
+        // *not* found statically (the paper's design: runtime watchpoints
+        // add it later).
+        let text = r#"
+global cell = 0
+fn main() {
+entry:
+  p = gep $cell, 0
+  store p, 5
+  v = load $cell
+  assert v, "boom"
+  ret
+}
+"#;
+        let (p, s) = slice_for(text, "main", 0, 3);
+        let main = &p.functions[0];
+        let store_p = main.blocks[0].instrs[1].id;
+        assert!(
+            !s.contains(store_p),
+            "aliasing store must NOT be in the static slice (found at runtime)"
+        );
+    }
+
+    #[test]
+    fn slice_len_counts_match_membership() {
+        let (_, s) = slice_for(
+            "fn main() {\nentry:\n  a = const 1\n  assert a, \"x\"\n  ret\n}\n",
+            "main",
+            0,
+            1,
+        );
+        assert_eq!(s.len(), s.ordered.len());
+        for id in &s.ordered {
+            assert!(s.contains(*id));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The instrumentation patch shipped to production runs.
+
+use std::collections::BTreeSet;
+
+use gist_ir::{FuncId, InstrId};
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation for one production run: which statements toggle PT and
+/// which memory accesses get watchpoints. This is the artifact Gist's
+/// server distributes to clients ("Gist uses bsdiff to create a binary
+/// patch file that it ships off to user endpoints", §4).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentationPatch {
+    /// Statements after whose execution PT tracing turns ON (predecessor
+    /// block terminators, callsites, etc.).
+    pub pt_on_after: BTreeSet<InstrId>,
+    /// Statements after whose execution PT tracing turns OFF.
+    pub pt_off_after: BTreeSet<InstrId>,
+    /// Resume points: when control *returns to* one of these statements
+    /// (the statement after a callsite), PT tracing turns ON. Needed when
+    /// a tracked statement follows a call whose callee contains a stop
+    /// point — the sdom optimization alone would leave it untraced.
+    pub pt_on_return_to: BTreeSet<InstrId>,
+    /// Functions whose entry turns PT tracing ON (tracked statements in
+    /// the entry block of a called function or a thread start routine; the
+    /// instrumentation executes in the entering thread, on its own core).
+    pub pt_on_enter: BTreeSet<FuncId>,
+    /// Turn PT on at run start (tracked statement in the entry block of
+    /// `main`, which has no predecessors).
+    pub pt_on_at_start: bool,
+    /// Memory-access statements at which to arm a watchpoint on the
+    /// accessed address (the arm site is "before the access and after its
+    /// immediate dominator", §3.2.3).
+    pub watch_accesses: BTreeSet<InstrId>,
+    /// The tracked slice portion this patch covers (for refinement:
+    /// executed ∩ tracked, discovered ∖ tracked).
+    pub tracked: BTreeSet<InstrId>,
+}
+
+impl InstrumentationPatch {
+    /// Total number of instrumentation points inserted into the program
+    /// (the paper's overhead grows with this count, Fig. 11).
+    pub fn instrumentation_points(&self) -> usize {
+        self.pt_on_after.len()
+            + self.pt_off_after.len()
+            + self.pt_on_return_to.len()
+            + self.pt_on_enter.len()
+            + self.watch_accesses.len()
+            + usize::from(self.pt_on_at_start)
+    }
+
+    /// Serialized size in bytes (patch-shipping cost accounting).
+    pub fn shipped_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Merges another patch into this one (cooperative runs may stack
+    /// multiple slice portions).
+    pub fn merge(&mut self, other: &InstrumentationPatch) {
+        self.pt_on_after.extend(&other.pt_on_after);
+        self.pt_off_after.extend(&other.pt_off_after);
+        self.pt_on_return_to.extend(&other.pt_on_return_to);
+        self.pt_on_enter.extend(&other.pt_on_enter);
+        self.pt_on_at_start |= other.pt_on_at_start;
+        self.watch_accesses.extend(&other.watch_accesses);
+        self.tracked.extend(&other.tracked);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_counting() {
+        let mut p = InstrumentationPatch::default();
+        p.pt_on_after.insert(InstrId(1));
+        p.pt_off_after.insert(InstrId(2));
+        p.watch_accesses.insert(InstrId(3));
+        p.pt_on_at_start = true;
+        assert_eq!(p.instrumentation_points(), 4);
+    }
+
+    #[test]
+    fn roundtrips_serde() {
+        let mut p = InstrumentationPatch::default();
+        p.pt_on_after.insert(InstrId(7));
+        p.tracked.insert(InstrId(7));
+        let bytes = serde_json::to_vec(&p).unwrap();
+        let q: InstrumentationPatch = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.shipped_size(), bytes.len());
+    }
+
+    #[test]
+    fn merge_unions_everything() {
+        let mut a = InstrumentationPatch::default();
+        a.pt_on_after.insert(InstrId(1));
+        let mut b = InstrumentationPatch::default();
+        b.pt_on_after.insert(InstrId(2));
+        b.pt_on_at_start = true;
+        a.merge(&b);
+        assert_eq!(a.pt_on_after.len(), 2);
+        assert!(a.pt_on_at_start);
+    }
+}

@@ -1,0 +1,387 @@
+//! The client-side runtime tracker: executes an instrumentation patch
+//! during a production run.
+
+use std::collections::{BTreeSet, HashMap};
+
+use gist_ir::{InstrId, Program};
+use gist_pt::decoder::DecodedTrace;
+use gist_pt::{PtConfig, PtDriver, PtTracer};
+use gist_vm::{Event, Observer};
+use gist_watch::{WatchCondition, WatchError, WatchHit, WatchUnit};
+
+use crate::patch::InstrumentationPatch;
+
+/// Everything one tracked production run sends back to Gist's server:
+/// decoded control flow, ordered data-flow hits, discovered statements,
+/// and cost counters.
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    /// Decoded per-core control flow.
+    pub decoded: DecodedTrace,
+    /// Watchpoint hits in global (total) order.
+    pub hits: Vec<WatchHit>,
+    /// Tracked statements that actually executed (slice ∩ executed —
+    /// refinement's "remove statements that don't get executed", §3).
+    pub executed_tracked: BTreeSet<InstrId>,
+    /// Statements discovered by watchpoints that were *not* tracked —
+    /// the alias-analysis gap the runtime closes (§3.2.3).
+    pub discovered: BTreeSet<InstrId>,
+    /// Branch outcomes at tracked conditional branches: `(tid, stmt, taken)`.
+    pub branches: Vec<(u32, InstrId, bool)>,
+    /// Encoded PT bytes produced.
+    pub pt_bytes: usize,
+    /// PT driver on/off transitions (ioctl count).
+    pub pt_transitions: u64,
+    /// Statements retired while PT was on.
+    pub traced_retired: u64,
+    /// Watchpoint traps delivered.
+    pub watch_traps: u64,
+    /// ptrace-style debug-register operations.
+    pub ptrace_ops: u64,
+    /// Accesses that should have been watched but found no free slot
+    /// (would be covered by another cooperative run).
+    pub missed_arms: u64,
+}
+
+/// The runtime tracker. Attach to a VM run as an [`Observer`]; call
+/// [`TrackerRuntime::finish`] afterwards to decode and collect the trace.
+pub struct TrackerRuntime<'p> {
+    program: &'p Program,
+    patch: InstrumentationPatch,
+    driver: PtDriver,
+    tracer: PtTracer<'p>,
+    watch: WatchUnit,
+    /// addr -> arming statement, for discovery bookkeeping.
+    armed_for: HashMap<u64, InstrId>,
+    missed_arms: u64,
+}
+
+impl<'p> TrackerRuntime<'p> {
+    /// Creates a tracker for one run under the given patch.
+    pub fn new(program: &'p Program, patch: InstrumentationPatch, num_cores: u32) -> Self {
+        let driver = PtDriver::new();
+        if patch.pt_on_at_start {
+            // A tracked statement sits in the program entry's first block
+            // (or this is a full-trace plan): tracing starts enabled.
+            driver.set_default(true);
+        }
+        let tracer = PtTracer::new(
+            program,
+            driver.clone(),
+            PtConfig {
+                num_cores,
+                ..PtConfig::default()
+            },
+        );
+        TrackerRuntime {
+            program,
+            patch,
+            driver,
+            tracer,
+            watch: WatchUnit::new(),
+            armed_for: HashMap::new(),
+            missed_arms: 0,
+        }
+    }
+
+    /// Access to the driver (tests and ablations).
+    pub fn driver(&self) -> &PtDriver {
+        &self.driver
+    }
+
+    /// Decodes the PT trace and packages the run's results.
+    pub fn finish(mut self) -> RunTrace {
+        self.tracer.finish();
+        let pt_bytes = self.tracer.total_bytes();
+        let traced_retired = self.tracer.traced_retired();
+        let traces = self.tracer.take_traces();
+        let decoded = gist_pt::decoder::decode(self.program, &traces).unwrap_or_else(|e| {
+            // An undecodable trace yields an empty one; refinement then
+            // simply learns nothing from this run. Surface in tests via
+            // debug assertions.
+            debug_assert!(false, "PT decode failed: {e}");
+            DecodedTrace::default()
+        });
+        let executed = decoded.executed();
+        let executed_tracked: BTreeSet<InstrId> = self
+            .patch
+            .tracked
+            .iter()
+            .copied()
+            .filter(|s| executed.contains(s))
+            .collect();
+        let hits = self.watch.take_hits();
+        let discovered: BTreeSet<InstrId> = hits
+            .iter()
+            .map(|h| h.iid)
+            .filter(|s| !self.patch.tracked.contains(s))
+            .collect();
+        let branches: Vec<(u32, InstrId, bool)> = decoded
+            .branches
+            .iter()
+            .filter(|(_, s, _)| self.patch.tracked.contains(s))
+            .map(|&(t, s, k)| (t, s, k))
+            .collect();
+        RunTrace {
+            decoded,
+            hits,
+            executed_tracked,
+            discovered,
+            branches,
+            pt_bytes,
+            pt_transitions: self.driver.transitions(),
+            traced_retired,
+            watch_traps: self.watch.traps(),
+            ptrace_ops: self.watch.ptrace_ops(),
+            missed_arms: self.missed_arms,
+        }
+    }
+}
+
+impl Observer for TrackerRuntime<'_> {
+    fn on_event(&mut self, ev: &Event) {
+        // 1. Arm a watchpoint at planned access sites at the PreAccess
+        //    (address computation) step, which executes *before* the
+        //    access — "the inserted hardware watchpoint must be located
+        //    before the access and after the immediate dominator of that
+        //    access" (§3.2.3). Other threads may interleave between the
+        //    arm point and the access, which is exactly how Gist captures
+        //    the remote racing access. Stack addresses are never watched.
+        if let Event::PreAccess {
+            iid,
+            addr,
+            is_stack,
+            ..
+        } = ev
+        {
+            if self.patch.watch_accesses.contains(iid) && !is_stack {
+                match self.watch.set(*addr, 1, WatchCondition::ReadWrite) {
+                    Ok(_) => {
+                        self.armed_for.insert(*addr, *iid);
+                    }
+                    Err(WatchError::AlreadyWatched) => {}
+                    Err(WatchError::NoFreeSlot) => {
+                        // Another cooperative run covers this address.
+                        self.missed_arms += 1;
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        // 2. Feed the hardware.
+        self.tracer.handle(ev);
+        self.watch.on_event(ev);
+        // 3. Control-flow toggles fire after the statement completes, on
+        //    the executing thread's core (Intel PT is per-core).
+        if let Event::Retired { iid, core, .. } = ev {
+            if self.patch.pt_off_after.contains(iid) {
+                self.driver.trace_off(*core);
+            }
+            if self.patch.pt_on_after.contains(iid) {
+                self.driver.trace_on(*core);
+            }
+        }
+        // 4. Function-entry start points (tracked statements in callee /
+        //    thread-routine entry blocks) fire in the entering thread.
+        if let Event::Enter { func, core, .. } = ev {
+            if self.patch.pt_on_enter.contains(func) {
+                self.driver.trace_on(*core);
+            }
+        }
+        // 5. Resume points: returning to the statement after a callsite
+        //    whose callee stopped tracing re-enables it.
+        if let Event::Return {
+            to: Some(to), core, ..
+        } = ev
+        {
+            if self.patch.pt_on_return_to.contains(to) {
+                self.driver.trace_on(*core);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_ir::icfg::Icfg;
+    use gist_ir::parser::parse_program;
+    use gist_slicing::StaticSlicer;
+    use gist_vm::{RunOutcome, SchedulerKind, Vm, VmConfig};
+
+    use crate::plan::Planner;
+
+    const PBZIP_MINI: &str = r#"
+fn cons(q) {
+entry:
+  m = load q        @ pbzip2.c:40
+  lock m            @ pbzip2.c:41
+  unlock m          @ pbzip2.c:43
+  ret               @ pbzip2.c:44
+}
+fn main() {
+entry:
+  q = alloc 1       @ pbzip2.c:10
+  mu = alloc 1      @ pbzip2.c:11
+  store q, mu       @ pbzip2.c:11
+  t = spawn cons(q) @ pbzip2.c:13
+  free mu           @ pbzip2.c:20
+  store q, 0        @ pbzip2.c:21
+  join t            @ pbzip2.c:22
+  ret               @ pbzip2.c:23
+}
+"#;
+
+    /// Runs PBZIP_MINI with a patch planned from the static slice of the
+    /// `lock m` criterion; returns (outcome was failure, trace).
+    fn run_tracked(seed: u64, sigma: usize) -> (bool, RunTrace) {
+        let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
+        let cons = p.function_by_name("cons").unwrap();
+        let crit = cons.blocks[0].instrs[1].id; // lock m
+        let slicer = StaticSlicer::new(&p);
+        let slice = slicer.compute(crit);
+        let planner = Planner::new(&p, slicer.ticfg());
+        let patch = planner.plan(slice.prefix(sigma), 0);
+        let mut tracker = TrackerRuntime::new(&p, patch, 4);
+        let cfg = VmConfig {
+            scheduler: SchedulerKind::Random { seed, preempt: 0.6 },
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(&p, cfg);
+        let r = vm.run(&mut [&mut tracker]);
+        (matches!(r.outcome, RunOutcome::Failed(_)), tracker.finish())
+    }
+
+    #[test]
+    fn executed_tracked_is_subset_of_tracked() {
+        let (_, trace) = run_tracked(1, 4);
+        // By construction every executed_tracked member is tracked.
+        assert!(trace
+            .executed_tracked
+            .iter()
+            .all(|s| trace.decoded.executed().contains(s)));
+    }
+
+    #[test]
+    fn watchpoints_discover_alias_missed_store() {
+        // Some schedule must (a) arm the watchpoint at `m = load q` and
+        // (b) see main's `store q, 0` hit it — the statement static
+        // slicing missed (no alias analysis).
+        let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
+        let main = p.function_by_name("main").unwrap();
+        let store_null = main.blocks[0].instrs[5].id;
+        let mut found = false;
+        for seed in 0..60 {
+            let (_, trace) = run_tracked(seed, 8);
+            if trace.discovered.contains(&store_null) {
+                found = true;
+                // The hit log totally orders the racing accesses.
+                let seqs: Vec<u64> = trace.hits.iter().map(|h| h.seq).collect();
+                assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+                break;
+            }
+        }
+        assert!(found, "no schedule discovered the aliasing store");
+    }
+
+    #[test]
+    fn tracing_produces_transitions_and_bytes() {
+        let (_, trace) = run_tracked(3, 4);
+        assert!(trace.pt_transitions > 0, "driver toggled");
+        assert!(trace.pt_bytes > 0, "some trace emitted");
+        assert!(trace.traced_retired > 0);
+    }
+
+    #[test]
+    fn branches_filtered_to_tracked() {
+        let text = r#"
+global g = 0
+fn main() {
+entry:
+  n = const 3
+  br head
+head:
+  v = load $g
+  c = cmp lt v, 3
+  condbr c, body, exit
+body:
+  v2 = add v, 1
+  store $g, v2
+  br head
+exit:
+  w = load $g
+  assert w, "boom"
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let main = &p.functions[0];
+        let exit_b = main.blocks.iter().find(|b| b.label == "exit").unwrap();
+        let crit = exit_b.instrs[1].id;
+        let slicer = StaticSlicer::new(&p);
+        let slice = slicer.compute(crit);
+        let planner = Planner::new(&p, slicer.ticfg());
+        // Track the whole slice: includes the loop condbr via control dep.
+        let patch = planner.plan(&slice.ordered, 0);
+        let head = main.blocks.iter().find(|b| b.label == "head").unwrap();
+        let condbr = head.term.id();
+        assert!(patch.tracked.contains(&condbr), "condbr in slice");
+        let mut tracker = TrackerRuntime::new(&p, patch, 4);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        vm.run(&mut [&mut tracker]);
+        let trace = tracker.finish();
+        let outcomes: Vec<bool> = trace
+            .branches
+            .iter()
+            .filter(|(_, s, _)| *s == condbr)
+            .map(|&(_, _, t)| t)
+            .collect();
+        assert_eq!(outcomes, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn full_trace_patch_traces_whole_run() {
+        let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
+        let ticfg = Icfg::build_ticfg(&p);
+        let planner = Planner::new(&p, &ticfg);
+        let patch = planner.plan_full_trace();
+        let mut tracker = TrackerRuntime::new(&p, patch, 4);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        let r = vm.run(&mut [&mut tracker]);
+        let trace = tracker.finish();
+        // Every retired statement decoded.
+        assert_eq!(trace.traced_retired, r.steps);
+        assert_eq!(
+            trace.decoded.per_core.iter().map(Vec::len).sum::<usize>() as u64,
+            r.steps
+        );
+    }
+
+    #[test]
+    fn stack_accesses_never_armed() {
+        let text = r#"
+fn main() {
+entry:
+  s = stackalloc 2
+  store s, 7
+  v = load s
+  assert v, "x"
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let main = &p.functions[0];
+        let all: Vec<InstrId> = main.blocks[0].instrs.iter().map(|i| i.id).collect();
+        let ticfg = Icfg::build_ticfg(&p);
+        let planner = Planner::new(&p, &ticfg);
+        let mut patch = planner.plan(&all, 0);
+        // Force the store into the watch plan to exercise the runtime
+        // stack guard as well.
+        patch.watch_accesses.insert(main.blocks[0].instrs[1].id);
+        let mut tracker = TrackerRuntime::new(&p, patch, 4);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        vm.run(&mut [&mut tracker]);
+        let trace = tracker.finish();
+        assert_eq!(trace.watch_traps, 0, "stack addresses are never watched");
+    }
+}

@@ -1,0 +1,305 @@
+//! The VM's event stream and the observer interface.
+//!
+//! Every architectural event a real CPU would expose to Gist's tracking
+//! machinery is modeled as an [`Event`]: retired statements (Intel PT's
+//! "retired instruction" accounting), conditional branch outcomes (PT TNT
+//! bits), indirect transfers (PT TIP packets), and memory accesses with
+//! values (what hardware watchpoints trap on). Events carry:
+//!
+//! * `seq` — a global sequence number establishing the total order the
+//!   paper obtains from atomic watchpoint handling (§4),
+//! * `core` — the virtual core, because Intel PT traces are only ordered
+//!   *per core* (§6), a property the PT simulator must honor,
+//! * `tid` — the executing thread.
+
+use gist_ir::{FuncId, InstrId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Read/write classification of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (includes `free` and mutex state updates).
+    Write,
+}
+
+/// One architectural event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A statement retired.
+    Retired {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The statement.
+        iid: InstrId,
+    },
+    /// A conditional branch resolved (source of PT TNT bits).
+    Branch {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The `condbr` statement.
+        iid: InstrId,
+        /// Whether the true edge was taken.
+        taken: bool,
+    },
+    /// An indirect control transfer: indirect call target resolved, or a
+    /// return to a dynamic address (source of PT TIP packets).
+    IndirectTransfer {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The call/return statement.
+        iid: InstrId,
+        /// The target statement (callee entry or return site).
+        target: InstrId,
+    },
+    /// The address-computation step immediately *before* a memory access.
+    ///
+    /// Real memory accesses are preceded by address computation, and that
+    /// is where Gist inserts its watchpoint-arming instrumentation
+    /// ("before the access and after the immediate dominator of that
+    /// access", §3.2.3). The VM executes accesses in two scheduler steps —
+    /// `PreAccess`, then [`Event::Mem`] — so other threads can interleave
+    /// between arming and the access, exactly as on real hardware.
+    PreAccess {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The access statement about to execute.
+        iid: InstrId,
+        /// Read or write.
+        kind: AccessKind,
+        /// The address that will be accessed.
+        addr: u64,
+        /// True if the address is in a stack region.
+        is_stack: bool,
+    },
+    /// A memory access (source of watchpoint traps).
+    Mem {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The accessing statement.
+        iid: InstrId,
+        /// Read or write.
+        kind: AccessKind,
+        /// The accessed address.
+        addr: u64,
+        /// The value read, or the value being written.
+        value: Value,
+        /// True if the address is in a thread's stack region (Gist does not
+        /// watch stack variables, §3.2.3).
+        is_stack: bool,
+    },
+    /// A function was entered (via call, spawn, or program start).
+    Enter {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The entered function.
+        func: FuncId,
+    },
+    /// A function returned.
+    ///
+    /// The Intel PT simulator uses `to` to decide between RET compression
+    /// (the matching call was traced, so the decoder can pop its stack) and
+    /// an explicit TIP packet.
+    Return {
+        /// Global sequence number.
+        seq: u64,
+        /// Executing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The `ret` statement.
+        iid: InstrId,
+        /// The statement control resumes at, or `None` if the outermost
+        /// frame returned (thread exit).
+        to: Option<InstrId>,
+    },
+    /// A thread was created.
+    Spawn {
+        /// Global sequence number.
+        seq: u64,
+        /// The creating thread.
+        tid: u32,
+        /// Virtual core of the creator.
+        core: u32,
+        /// The created thread.
+        child: u32,
+    },
+    /// A thread finished.
+    ThreadExit {
+        /// Global sequence number.
+        seq: u64,
+        /// The exiting thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+    },
+    /// The run failed; this is always the final event of a failing run.
+    Failure {
+        /// Global sequence number.
+        seq: u64,
+        /// The failing thread.
+        tid: u32,
+        /// Virtual core.
+        core: u32,
+        /// The statement at which the failure manifested.
+        iid: InstrId,
+    },
+}
+
+impl Event {
+    /// The global sequence number of the event.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Retired { seq, .. }
+            | Event::Branch { seq, .. }
+            | Event::IndirectTransfer { seq, .. }
+            | Event::Return { seq, .. }
+            | Event::PreAccess { seq, .. }
+            | Event::Mem { seq, .. }
+            | Event::Enter { seq, .. }
+            | Event::Spawn { seq, .. }
+            | Event::ThreadExit { seq, .. }
+            | Event::Failure { seq, .. } => *seq,
+        }
+    }
+
+    /// The thread that produced the event.
+    pub fn tid(&self) -> u32 {
+        match self {
+            Event::Retired { tid, .. }
+            | Event::Branch { tid, .. }
+            | Event::IndirectTransfer { tid, .. }
+            | Event::Return { tid, .. }
+            | Event::PreAccess { tid, .. }
+            | Event::Mem { tid, .. }
+            | Event::Enter { tid, .. }
+            | Event::Spawn { tid, .. }
+            | Event::ThreadExit { tid, .. }
+            | Event::Failure { tid, .. } => *tid,
+        }
+    }
+
+    /// The virtual core that produced the event.
+    pub fn core(&self) -> u32 {
+        match self {
+            Event::Retired { core, .. }
+            | Event::Branch { core, .. }
+            | Event::IndirectTransfer { core, .. }
+            | Event::Return { core, .. }
+            | Event::PreAccess { core, .. }
+            | Event::Mem { core, .. }
+            | Event::Enter { core, .. }
+            | Event::Spawn { core, .. }
+            | Event::ThreadExit { core, .. }
+            | Event::Failure { core, .. } => *core,
+        }
+    }
+}
+
+/// Consumes the VM's event stream.
+///
+/// Gist's client runtime, the Intel PT simulator, the watchpoint unit, and
+/// the record/replay baseline all implement this trait; they are attached
+/// to a [`crate::Vm`] run and see every event in global order.
+pub trait Observer {
+    /// Called for every event, in increasing `seq` order.
+    fn on_event(&mut self, ev: &Event);
+}
+
+/// A trivial observer that stores all events (used in tests and by the
+/// record/replay baseline).
+#[derive(Default, Debug)]
+pub struct EventLog {
+    /// The recorded events.
+    pub events: Vec<Event>,
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let evs = [
+            Event::Retired {
+                seq: 1,
+                tid: 2,
+                core: 3,
+                iid: InstrId(4),
+            },
+            Event::Branch {
+                seq: 5,
+                tid: 6,
+                core: 7,
+                iid: InstrId(8),
+                taken: true,
+            },
+            Event::Mem {
+                seq: 9,
+                tid: 10,
+                core: 11,
+                iid: InstrId(12),
+                kind: AccessKind::Read,
+                addr: 13,
+                value: 14,
+                is_stack: false,
+            },
+            Event::Failure {
+                seq: 15,
+                tid: 16,
+                core: 17,
+                iid: InstrId(18),
+            },
+        ];
+        assert_eq!(evs[0].seq(), 1);
+        assert_eq!(evs[1].tid(), 6);
+        assert_eq!(evs[2].core(), 11);
+        assert_eq!(evs[3].seq(), 15);
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::default();
+        for i in 0..5 {
+            log.on_event(&Event::Retired {
+                seq: i,
+                tid: 0,
+                core: 0,
+                iid: InstrId(0),
+            });
+        }
+        assert_eq!(log.events.len(), 5);
+        assert!(log.events.windows(2).all(|w| w[0].seq() < w[1].seq()));
+    }
+}

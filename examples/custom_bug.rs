@@ -1,0 +1,115 @@
+//! Bring-your-own-bug: write a MiniC program in the textual format, give
+//! Gist its failure, and get a sketch — the workflow a downstream user of
+//! this library follows for their own code.
+//!
+//! The program here is a sequential configuration-parsing bug: a missing
+//! `=` in the config line sends the parser down a path that leaves the
+//! port unset (0), and the server later divides by it.
+//!
+//! ```text
+//! cargo run -p gist-bench --example custom_bug
+//! ```
+
+use gist_core::{ClientRunData, GistConfig, GistServer};
+use gist_ir::parser::parse_program;
+use gist_tracking::{InstrumentationPatch, TrackerRuntime};
+use gist_vm::{Input, RunOutcome, Vm, VmConfig};
+
+const PROGRAM: &str = r#"
+global default_port = 8080
+
+fn parse_config(line) {
+entry:
+  port = alloc 1              @ config.c:10
+  ch = load line              @ config.c:12
+  iseq = cmp eq ch, 61        @ config.c:13
+  condbr iseq, haskey, bare   @ config.c:13
+haskey:
+  p1 = add line, 1            @ config.c:15
+  v = load p1                 @ config.c:15
+  store port, v               @ config.c:16
+  br done                    @ config.c:17
+bare:
+  store port, 0               @ config.c:19
+  br done                    @ config.c:20
+done:
+  ret port                    @ config.c:22
+}
+
+fn serve(port_cell) {
+entry:
+  p = load port_cell          @ server.c:30
+  shard = div 1000, p         @ server.c:31
+  print shard                 @ server.c:32
+  ret                         @ server.c:33
+}
+
+fn main() {
+entry:
+  line = input 0              @ main.c:5
+  pc = call parse_config(line) @ main.c:7
+  call serve(pc)              @ main.c:9
+  ret                         @ main.c:11
+}
+"#;
+
+fn config_for(seed: u64) -> VmConfig {
+    // Every fourth "deployment" has a config line missing the '='.
+    let line: Vec<i64> = if seed.is_multiple_of(4) {
+        vec![56, 48] // "80" — no '=' prefix
+    } else {
+        vec![61, 9000] // "=9000"
+    };
+    VmConfig {
+        inputs: vec![Input::Str(line)],
+        ..VmConfig::default()
+    }
+}
+
+fn main() {
+    let program = parse_program("myserver", PROGRAM).expect("program parses");
+
+    let report = (0..16)
+        .find_map(
+            |seed| match Vm::new(&program, config_for(seed)).run(&mut []).outcome {
+                RunOutcome::Failed(r) => Some(r),
+                RunOutcome::Finished => None,
+            },
+        )
+        .expect("bad config crashes the server");
+    println!("production failure: {}\n", report.summary(&program));
+
+    let server = GistServer::new(
+        &program,
+        GistConfig {
+            failing_runs_per_iteration: 4,
+            title: "Failure Sketch for myserver config bug".into(),
+            bug_class: "Sequential bug".into(),
+            ..GistConfig::default()
+        },
+    );
+    let mut seed = 100u64;
+    let mut fleet = |patch: &InstrumentationPatch| {
+        seed += 1;
+        let mut tracker = TrackerRuntime::new(&program, patch.clone(), 4);
+        let mut vm = Vm::new(&program, config_for(seed));
+        let result = vm.run(&mut [&mut tracker]);
+        ClientRunData {
+            run_id: seed,
+            outcome: match result.outcome {
+                RunOutcome::Failed(r) => Some(r),
+                RunOutcome::Finished => None,
+            },
+            trace: tracker.finish(),
+            retired: result.steps,
+        }
+    };
+    let result = server.diagnose(&report, &mut fleet, None, &mut |sketch| {
+        sketch.predictors.iter().any(|p| p.f_measure(0.5) > 0.99)
+    });
+    println!("{}", result.sketch.render());
+    println!(
+        "({} iterations, {} recurrences, {} runs)",
+        result.iterations, result.recurrences, result.total_runs
+    );
+}

@@ -1,0 +1,36 @@
+//! Reproduces the paper's Fig. 1: the failure sketch for pbzip2 bug #1.
+//!
+//! ```text
+//! cargo run -p gist-bench --example pbzip2_sketch
+//! ```
+
+use gist_bugbase::bug_by_name;
+use gist_coop::{diagnose_bug, EvalConfig};
+
+fn main() {
+    let bug = bug_by_name("pbzip2-1").expect("bugbase has pbzip2-1");
+    println!(
+        "{} ({} {}, bug {})\n",
+        bug.display, bug.software, bug.version, bug.bug_id
+    );
+    let eval = diagnose_bug(&bug, &EvalConfig::default());
+    println!("{}", eval.sketch.render());
+    println!(
+        "accuracy: relevance {:.1}%, ordering {:.1}%, overall {:.1}%",
+        eval.relevance, eval.ordering, eval.overall
+    );
+    println!(
+        "latency: {} failure recurrences over {} production runs ({} AsT iterations)",
+        eval.recurrences, eval.total_runs, eval.iterations
+    );
+    println!(
+        "paper reported: slice {}({}) ideal {}({}) sketch {}({}) in {} recurrences",
+        bug.paper.slice_src,
+        bug.paper.slice_instrs,
+        bug.paper.ideal_src,
+        bug.paper.ideal_instrs,
+        bug.paper.gist_src,
+        bug.paper.gist_instrs,
+        bug.paper.recurrences
+    );
+}

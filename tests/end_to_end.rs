@@ -1,0 +1,110 @@
+//! End-to-end integration: the full Gist pipeline on every bugbase bug.
+//!
+//! This is the repository's Table-1-shaped smoke test: for each of the 11
+//! bugs, diagnosis must find the root cause, the sketch must be a sensible
+//! subset of the program, and the latency must be a handful of failure
+//! recurrences — the paper reports 2–5.
+
+use gist_bugbase::{all_bugs, BugClass};
+use gist_coop::{diagnose_bug, EvalConfig};
+
+#[test]
+fn every_bug_diagnoses_to_its_root_cause() {
+    for bug in all_bugs() {
+        let eval = diagnose_bug(&bug, &EvalConfig::default());
+        assert!(
+            eval.found_root_cause,
+            "{}: root cause missing from sketch\n{}",
+            bug.name,
+            eval.sketch.render()
+        );
+        assert!(
+            eval.recurrences >= 1,
+            "{}: no failure recurrence consumed",
+            bug.name
+        );
+        assert!(
+            eval.sketch_instrs > 0 && eval.sketch_instrs <= bug.program_stmts(),
+            "{}: sketch size {} out of range",
+            bug.name,
+            eval.sketch_instrs
+        );
+        // The slice is a subset of the program; the sketch focuses further
+        // (Table 1's shape: slice ≥ sketch for the larger slices).
+        assert!(
+            eval.slice_instrs <= bug.program_stmts(),
+            "{}: slice bigger than program",
+            bug.name
+        );
+    }
+}
+
+#[test]
+fn concurrency_bugs_get_order_predictors_sequential_get_value_or_branch() {
+    for bug in all_bugs() {
+        let eval = diagnose_bug(&bug, &EvalConfig::default());
+        let cats: Vec<&str> = eval
+            .sketch
+            .predictors
+            .iter()
+            .filter(|p| p.f_measure(0.5) > 0.0)
+            .map(|p| p.predictor.category())
+            .collect();
+        match bug.class {
+            BugClass::Sequential => assert!(
+                cats.contains(&"value") || cats.contains(&"branch"),
+                "{}: sequential bug needs a value/branch predictor, got {cats:?}",
+                bug.name
+            ),
+            BugClass::Concurrency => assert!(
+                !cats.is_empty(),
+                "{}: no failure predictor emerged",
+                bug.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn sketches_render_with_type_line_and_threads() {
+    for bug in all_bugs() {
+        let eval = diagnose_bug(&bug, &EvalConfig::default());
+        let text = eval.sketch.render();
+        assert!(
+            text.contains(bug.class.label()),
+            "{}: type line missing",
+            bug.name
+        );
+        assert!(text.contains("Thread T"), "{}: no thread column", bug.name);
+        if bug.class == BugClass::Concurrency {
+            assert!(
+                eval.sketch.threads.len() >= 2,
+                "{}: concurrency sketch should span threads: {}",
+                bug.name,
+                text
+            );
+        }
+    }
+}
+
+#[test]
+fn diagnosis_latency_is_a_handful_of_recurrences() {
+    // The paper's Table 1 reports 2–5 recurrences per bug (with one
+    // failing run gathered per iteration). Our harness gathers several
+    // failing runs per iteration for statistical strength; the equivalent
+    // latency bound is recurrences ≤ iterations × failing_per_iteration
+    // with few iterations.
+    let cfg = EvalConfig {
+        failing_per_iteration: 1,
+        ..EvalConfig::default()
+    };
+    for bug in all_bugs() {
+        let eval = diagnose_bug(&bug, &cfg);
+        assert!(
+            eval.recurrences <= 16,
+            "{}: took {} recurrences",
+            bug.name,
+            eval.recurrences
+        );
+    }
+}
