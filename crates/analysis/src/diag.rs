@@ -1,0 +1,158 @@
+//! Diagnostics produced by the static analyses.
+//!
+//! Every finding is a [`Diagnostic`] with a stable `GA0xx` code, a severity,
+//! a message, and (when known) a source location resolved through the
+//! program's [`gist_ir::SourceMap`]. [`render_report`] formats a batch the
+//! way a compiler would:
+//!
+//! ```text
+//! error[GA002]: branch in fn `cons` targets nonexistent block bb9
+//!   --> pbzip2.c:1088
+//! ```
+
+use std::fmt;
+
+use gist_ir::{FuncId, Program, SrcLoc};
+
+/// How serious a diagnostic is. Errors mean the program is malformed;
+/// warnings flag legal-but-suspicious IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program violates an IR well-formedness rule.
+    Error,
+    /// The program is well-formed but the shape is suspicious.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding from a static analysis pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code, e.g. `"GA003"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source location of the offending statement (may be unknown).
+    pub loc: SrcLoc,
+    /// The function containing the finding, if any.
+    pub func: Option<FuncId>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic with no location.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            loc: SrcLoc::UNKNOWN,
+            func: None,
+        }
+    }
+
+    /// Creates a warning diagnostic with no location.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            loc: SrcLoc::UNKNOWN,
+            func: None,
+        }
+    }
+
+    /// Attaches a source location.
+    pub fn at(mut self, loc: SrcLoc) -> Self {
+        self.loc = loc;
+        self
+    }
+
+    /// Attaches the containing function.
+    pub fn in_func(mut self, func: FuncId) -> Self {
+        self.func = Some(func);
+        self
+    }
+
+    /// True if this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// True if any diagnostic in the batch is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// Renders a batch of diagnostics as a compiler-style report, resolving
+/// locations through `program`'s source map when one is available.
+pub fn render_report(program: Option<&Program>, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in diags {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+        let where_ = match program {
+            Some(p) if !d.loc.is_unknown() => p.source_map.display(d.loc),
+            _ if !d.loc.is_unknown() => d.loc.to_string(),
+            _ => "<unknown>".to_owned(),
+        };
+        out.push_str(&format!("  --> {where_}\n"));
+    }
+    out.push_str(&format!(
+        "{errors} error{}, {warnings} warning{}\n",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Sorts diagnostics for stable reporting: errors first, then by location,
+/// then by code.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity, a.loc, a.code, &a.message).cmp(&(b.severity, b.loc, b.code, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_code_and_counts() {
+        let diags = vec![
+            Diagnostic::error("GA002", "branch targets nonexistent block bb9"),
+            Diagnostic::warning("GA005", "block `dead` is unreachable"),
+        ];
+        let report = render_report(None, &diags);
+        assert!(report.contains("error[GA002]: branch targets nonexistent block bb9"));
+        assert!(report.contains("warning[GA005]"));
+        assert!(report.contains("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let mut diags = vec![
+            Diagnostic::warning("GA005", "w"),
+            Diagnostic::error("GA003", "e"),
+        ];
+        sort_diagnostics(&mut diags);
+        assert!(diags[0].is_error());
+        assert!(has_errors(&diags));
+    }
+}

@@ -1,0 +1,42 @@
+//! Static analyses over the MiniC IR.
+//!
+//! Gist's server-side pipeline (paper §3) runs entirely on static program
+//! structure before any production run is instrumented: it slices backwards
+//! from the failure, then picks instrumentation points. This crate adds the
+//! two static analyses that sit naturally in front of that pipeline:
+//!
+//! * an **IR verifier and lint** ([`verify`]) that rejects malformed
+//!   programs (bad branch targets, undominated register uses, call arity
+//!   mismatches, textual blocks without terminators) and warns about
+//!   suspicious-but-legal shapes (dead blocks, write-only globals), with
+//!   `error[GA0xx]`-style diagnostics carrying source locations, and
+//! * a **static data race detector** ([`race`]) in the lockset tradition of
+//!   Eraser/RELAY: a thread-escape analysis over the TICFG finds memory
+//!   that is reachable from more than one thread, a flow-sensitive lockset
+//!   analysis computes the locks held at each shared access, and accesses
+//!   on overlapping cells with disjoint locksets become ranked
+//!   [`race::RaceCandidate`]s.
+//!
+//! The race ranking feeds two consumers downstream: the instrumentation
+//! planner orders hardware watchpoints by race rank instead of slice order
+//! (so the four DR registers go to the most suspicious accesses first), and
+//! the Gist server seeds the first Adaptive Slice Tracking iteration with
+//! race-candidate statements, which lets accesses that are invisible to the
+//! alias-free data-flow slice (a racing `free`, for instance) be tracked
+//! from recurrence one.
+//!
+//! Analyses are packaged as [`pass::Pass`]es run by a [`pass::PassManager`]
+//! over a shared [`pass::AnalysisCtx`], so new passes can reuse the lazily
+//! built TICFG.
+
+pub mod diag;
+pub mod pass;
+pub mod points_to;
+pub mod race;
+pub mod verify;
+
+pub use diag::{has_errors, render_report, Diagnostic, Severity};
+pub use pass::{default_passes, AnalysisCtx, Pass, PassManager};
+pub use points_to::{Loc, MemOrigin, PointsTo};
+pub use race::{analyze, analyze_with, AccessKind, RaceAnalysis, RaceCandidate, RaceEndpoint};
+pub use verify::{verify, verify_source, SourceVerification};

@@ -1,0 +1,118 @@
+//! A small pass framework for static analyses.
+//!
+//! Passes share an [`AnalysisCtx`] so expensive program-wide structures
+//! (today: the TICFG) are built once and reused. The [`PassManager`] runs a
+//! list of passes and collects their diagnostics into one sorted report,
+//! mirroring how the paper's prototype chains LLVM analysis passes on the
+//! Gist server before computing instrumentation plans.
+
+use gist_ir::icfg::{Icfg, Ticfg};
+use gist_ir::Program;
+
+use crate::diag::{sort_diagnostics, Diagnostic};
+
+/// Shared state for one analysis run over a single program.
+pub struct AnalysisCtx<'p> {
+    /// The program under analysis.
+    pub program: &'p Program,
+    ticfg: Option<Ticfg>,
+}
+
+impl<'p> AnalysisCtx<'p> {
+    /// Creates a context for `program`. Nothing is computed up front.
+    pub fn new(program: &'p Program) -> Self {
+        AnalysisCtx {
+            program,
+            ticfg: None,
+        }
+    }
+
+    /// The thread-interprocedural CFG, built on first use and cached.
+    pub fn ticfg(&mut self) -> &Ticfg {
+        if self.ticfg.is_none() {
+            self.ticfg = Some(Icfg::build_ticfg(self.program));
+        }
+        self.ticfg.as_ref().expect("just built")
+    }
+}
+
+/// One static analysis that reports diagnostics.
+pub trait Pass {
+    /// Short name used in reports and debugging.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, returning its findings.
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> Vec<Diagnostic>;
+}
+
+/// Runs a sequence of passes over one shared context.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty pass manager.
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// Appends a pass (builder style).
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs all passes over `program` and returns the sorted diagnostics.
+    pub fn run(&self, program: &Program) -> Vec<Diagnostic> {
+        let mut cx = AnalysisCtx::new(program);
+        let mut diags = Vec::new();
+        for pass in &self.passes {
+            diags.extend(pass.run(&mut cx));
+        }
+        sort_diagnostics(&mut diags);
+        diags
+    }
+}
+
+/// The default pipeline: the IR verifier followed by the race lint.
+pub fn default_passes() -> PassManager {
+    PassManager::new()
+        .with_pass(crate::verify::VerifierPass)
+        .with_pass(crate::race::RaceLintPass::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_ir::builder::ProgramBuilder;
+
+    fn tiny_program() -> Program {
+        let mut pb = ProgramBuilder::new("tiny");
+        let mut f = pb.function("main", &[]);
+        f.ret(None);
+        f.finish();
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn default_pipeline_accepts_a_trivial_program() {
+        let p = tiny_program();
+        let pm = default_passes();
+        assert_eq!(pm.pass_names(), vec!["verify", "race-lint"]);
+        assert!(pm.run(&p).is_empty());
+    }
+
+    #[test]
+    fn ticfg_is_built_lazily_and_cached() {
+        let p = tiny_program();
+        let mut cx = AnalysisCtx::new(&p);
+        let edges = cx.ticfg().edge_count();
+        // Second call must reuse the cached graph (same object, same count).
+        assert_eq!(cx.ticfg().edge_count(), edges);
+    }
+}

@@ -1,0 +1,76 @@
+//! The analyses against every bugbase program: the verifier must accept
+//! them all, and for the three bugs whose root cause is a textbook racing
+//! pair, the detector must rank that pair first.
+
+use std::collections::BTreeSet;
+
+use gist_analysis::{analyze, verify};
+use gist_bugbase::all_bugs;
+
+/// Maps a candidate's statements to `(file, line)` pairs.
+fn stmt_lines(bug: &gist_bugbase::BugSpec, stmts: &[gist_ir::InstrId]) -> BTreeSet<(String, u32)> {
+    stmts
+        .iter()
+        .filter_map(|&s| bug.program.stmt_loc(s))
+        .filter(|l| !l.is_unknown())
+        .map(|l| (bug.program.source_map.file_name(l.file).to_owned(), l.line))
+        .collect()
+}
+
+#[test]
+fn verifier_accepts_every_bugbase_program() {
+    for bug in all_bugs() {
+        let diags = verify(&bug.program);
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(
+            errors.is_empty(),
+            "{}: verifier rejected a shipping program:\n{}",
+            bug.name,
+            gist_analysis::render_report(Some(&bug.program), &diags)
+        );
+    }
+}
+
+#[test]
+fn race_detector_runs_on_every_bug() {
+    for bug in all_bugs() {
+        let analysis = analyze(&bug.program);
+        // Sequential programs legitimately produce no candidates; the
+        // detector must simply not panic and must produce a table.
+        let table = analysis.render_table(&bug.program);
+        assert!(!table.is_empty(), "{}: empty table", bug.name);
+        println!("== {} ==", bug.name);
+        print!("{table}");
+    }
+}
+
+#[test]
+fn known_racing_pairs_rank_first() {
+    for name in ["pbzip2-1", "apache-21287", "memcached-127"] {
+        let bug = gist_bugbase::bug_by_name(name).unwrap();
+        let analysis = analyze(&bug.program);
+        assert!(!analysis.is_empty(), "{name}: no candidates");
+        let top = &analysis.candidates[0];
+        let lines = stmt_lines(&bug, &top.stmts());
+        let ideal: BTreeSet<(String, u32)> = bug
+            .ideal_lines
+            .iter()
+            .map(|&(f, l)| (f.to_owned(), l))
+            .collect();
+        let root: BTreeSet<(String, u32)> = bug
+            .root_cause_lines
+            .iter()
+            .map(|&(f, l)| (f.to_owned(), l))
+            .collect();
+        assert!(
+            lines.is_subset(&ideal),
+            "{name}: top pair {lines:?} strays outside the ideal sketch {ideal:?}\n{}",
+            analysis.render_table(&bug.program)
+        );
+        assert!(
+            lines.intersection(&root).next().is_some(),
+            "{name}: top pair {lines:?} misses the root cause {root:?}\n{}",
+            analysis.render_table(&bug.program)
+        );
+    }
+}

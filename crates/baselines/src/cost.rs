@@ -19,10 +19,9 @@
 //! never exact percentages.
 
 use gist_core::server::CostSummary;
-use serde::{Deserialize, Serialize};
 
 /// Work-unit prices for each event class.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// Work units per PT trace byte written to the buffer (DRAM traffic).
     pub pt_byte: f64,

@@ -66,10 +66,11 @@ pub struct RecordedRun {
 impl RecordedRun {
     /// Size of the recording in bytes (serialized events + schedule),
     /// the quantity compared against PT trace bytes in Fig. 13.
+    ///
+    /// Events are costed at their text-serialized size (one line per
+    /// event), which is how rr-style tools persist annotated event logs.
     pub fn log_bytes(&self) -> usize {
-        let ev = serde_json::to_vec(&self.events)
-            .map(|v| v.len())
-            .unwrap_or(0);
+        let ev: usize = self.events.iter().map(|e| format!("{e:?}").len() + 1).sum();
         ev + self.schedule.len() * std::mem::size_of::<u32>()
     }
 

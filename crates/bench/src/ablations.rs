@@ -8,6 +8,9 @@
 //!    final sketch for doubling vs linear σ growth.
 //! 4. **F-measure β = 0.5** (§3.3): how often the top-ranked predictor
 //!    changes when β favors recall instead of precision.
+//! 5. **Static race ranking** (`gist-analysis`): failure recurrences to
+//!    the final sketch with race-candidate seeding and rank-ordered
+//!    watchpoints on vs off.
 
 use gist_bugbase::{all_bugs, BugSpec};
 use gist_coop::{diagnose_bug, EvalConfig};
@@ -16,10 +19,9 @@ use gist_predictors::rank;
 use gist_slicing::StaticSlicer;
 use gist_tracking::{Planner, TrackerRuntime};
 use gist_vm::{RunOutcome, Vm};
-use serde::Serialize;
 
 /// Slice blow-up without/with crude alias analysis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AliasRow {
     /// Bug name.
     pub bug: String,
@@ -46,7 +48,7 @@ pub fn alias_ablation() -> Vec<AliasRow> {
 }
 
 /// Instrumentation cost with/without the sdom optimization.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SdomRow {
     /// Bug name.
     pub bug: String,
@@ -94,7 +96,7 @@ pub fn sdom_ablation(runs_per_bug: u64) -> Vec<SdomRow> {
 }
 
 /// Latency comparison for AsT growth strategies.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct GrowthRow {
     /// Bug name.
     pub bug: String,
@@ -130,7 +132,7 @@ pub fn growth_ablation() -> Vec<GrowthRow> {
 }
 
 /// β-sweep outcome for one bug.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BetaRow {
     /// Bug name.
     pub bug: String,
@@ -173,6 +175,48 @@ pub fn beta_ablation(bug: &BugSpec, runs: u64) -> Option<BetaRow> {
         precision_beta_half: top_precision(0.5),
         precision_beta_two: top_precision(2.0),
     })
+}
+
+/// Recurrences-to-sketch with and without race ranking for one bug.
+#[derive(Clone, Debug)]
+pub struct RankingRow {
+    /// Bug name.
+    pub bug: String,
+    /// Failure recurrences with seeding + watch ordering enabled.
+    pub recurrences_on: usize,
+    /// Failure recurrences with both disabled (slice order only).
+    pub recurrences_off: usize,
+    /// Root cause reached with ranking on.
+    pub found_on: bool,
+    /// Root cause reached with ranking off.
+    pub found_off: bool,
+}
+
+/// Ablation 5: the static race detector's seeding + watch ordering.
+pub fn ranking_ablation() -> Vec<RankingRow> {
+    all_bugs()
+        .iter()
+        .map(|bug| {
+            let run = |enable: bool| {
+                diagnose_bug(
+                    bug,
+                    &EvalConfig {
+                        enable_race_ranking: enable,
+                        ..EvalConfig::default()
+                    },
+                )
+            };
+            let on = run(true);
+            let off = run(false);
+            RankingRow {
+                bug: bug.name.to_owned(),
+                recurrences_on: on.recurrences,
+                recurrences_off: off.recurrences,
+                found_on: on.found_root_cause,
+                found_off: off.found_root_cause,
+            }
+        })
+        .collect()
 }
 
 /// Renders all ablations as text.
@@ -224,6 +268,7 @@ pub fn ablations_text() -> String {
             ));
         }
     }
+    out.push_str(&crate::races::ranking_text());
     out
 }
 
@@ -270,6 +315,23 @@ mod tests {
         let with: f64 = rows.iter().map(|r| r.transitions_sdom).sum();
         let without: f64 = rows.iter().map(|r| r.transitions_no_sdom).sum();
         assert!(with <= without, "with {with} vs without {without}");
+    }
+
+    #[test]
+    fn race_ranking_never_costs_recurrences_overall() {
+        let rows = ranking_ablation();
+        assert_eq!(rows.len(), 11);
+        let on: usize = rows.iter().map(|r| r.recurrences_on).sum();
+        let off: usize = rows.iter().map(|r| r.recurrences_off).sum();
+        assert!(on <= off, "ranking on cost more recurrences: {on} > {off}");
+        // And it never loses a root cause the unranked pipeline found.
+        for r in &rows {
+            assert!(
+                r.found_on || !r.found_off,
+                "{}: ranking lost the root cause",
+                r.bug
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! repro overhead            # §5.3 per-bug overhead breakdown
 //! repro swtrace             # §6 software-only tracing factors
 //! repro ablations           # design-decision ablations (DESIGN.md)
+//! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
 //! repro bugs                # list bug names
 //! ```
@@ -30,6 +31,7 @@ fn main() {
         "fig13" => fig13(),
         "overhead" => overhead(),
         "ablations" => println!("{}", gist_bench::ablations::ablations_text()),
+        "races" => races(),
         "swtrace" => swtrace(),
         "bugs" => bugs(),
         "sketch" => {
@@ -60,7 +62,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations sketch bugs");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations races sketch bugs");
             std::process::exit(2);
         }
     }
@@ -101,6 +103,11 @@ fn overhead() {
 
 fn swtrace() {
     println!("{}", format::swtrace_text(&experiments::swtrace_rows(10)));
+}
+
+fn races() {
+    println!("{}", gist_bench::races::races_text());
+    println!("{}", gist_bench::races::ranking_text());
 }
 
 fn bugs() {

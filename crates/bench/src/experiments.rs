@@ -8,7 +8,6 @@ use gist_pt::{PtConfig, PtDriver, PtTracer};
 use gist_slicing::StaticSlicer;
 use gist_tracking::{Planner, TrackerRuntime};
 use gist_vm::Vm;
-use serde::Serialize;
 
 /// Table 1: full diagnosis of every bug with the paper's defaults
 /// (σ₀ = 2, multiplicative growth, β = 0.5).
@@ -20,7 +19,7 @@ pub fn table1() -> Vec<BugEvaluation> {
 }
 
 /// One bar group of Fig. 10: overall accuracy per tracking configuration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Row {
     /// Bug short name.
     pub bug: String,
@@ -64,7 +63,7 @@ pub fn fig10() -> Vec<Fig10Row> {
 }
 
 /// One point of Fig. 11: average client overhead at a fixed tracked size.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig11Row {
     /// Tracked slice size (statements).
     pub slice_size: usize,
@@ -120,7 +119,7 @@ fn tracked_cost(bug: &BugSpec, size: usize, n: u64) -> Option<CostSummary> {
 }
 
 /// One point of Fig. 12: the σ₀ tradeoff.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig12Row {
     /// Initial σ.
     pub sigma0: usize,
@@ -159,7 +158,7 @@ pub fn fig12() -> Vec<Fig12Row> {
 }
 
 /// One bar pair of Fig. 13: full-tracing overheads per program.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig13Row {
     /// Bug / program name.
     pub program: String,
@@ -215,7 +214,7 @@ pub fn fig13(runs: u64) -> Vec<Fig13Row> {
 }
 
 /// One row of the §5.3 overhead breakdown at σ = 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OverheadRow {
     /// Bug short name.
     pub bug: String,

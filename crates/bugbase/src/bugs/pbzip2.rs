@@ -129,7 +129,11 @@ pub fn pbzip2_1() -> BugSpec {
         // consumer's crashing lock (the arrow of Fig. 1).
         ideal_order_lines: vec![("pbzip2.cpp", 1094), ("pbzip2.cpp", 889)],
         root_cause_lines: vec![("pbzip2.cpp", 1094), ("pbzip2.cpp", 1095)],
-        prefer_loc: None,
+        // Fig. 1's failure flavor: the consumer crashes *locking* the mutex
+        // main freed/NULLed. (The bug can also fire as a use-after-free at
+        // the unlock when the free slips inside the critical section, but
+        // that interleaving inverts the Fig. 1 arrow.)
+        prefer_loc: Some(("pbzip2.cpp", 889)),
         paper: PaperNumbers {
             software_loc: 1_492,
             slice_src: 8,

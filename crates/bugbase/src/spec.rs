@@ -5,10 +5,9 @@ use std::collections::BTreeSet;
 use gist_ir::{InstrId, Program};
 use gist_sketch::IdealSketch;
 use gist_vm::{FailureReport, RunOutcome, Vm, VmConfig};
-use serde::{Deserialize, Serialize};
 
 /// Sequential vs concurrency bug (the sketch "Type:" line).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BugClass {
     /// Manifests only under particular thread interleavings.
     Concurrency,
@@ -29,7 +28,7 @@ impl BugClass {
 /// The paper's Table 1 row for this bug, kept verbatim for EXPERIMENTS.md
 /// side-by-side comparison (sizes in the paper's units refer to the
 /// *original* C programs, not our miniatures).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PaperNumbers {
     /// Software size (sloccount LOC).
     pub software_loc: u64,

@@ -6,7 +6,6 @@ use gist_core::server::CostSummary;
 use gist_core::{GistConfig, GistServer};
 use gist_sketch::accuracy::{measure, Accuracy};
 use gist_sketch::FailureSketch;
-use serde::Serialize;
 
 use crate::fleet::{FleetConfig, SimulatedFleet};
 
@@ -27,6 +26,9 @@ pub struct EvalConfig {
     pub enable_control_flow: bool,
     /// Track data flow (watchpoints) — Fig. 10 ablation.
     pub enable_data_flow: bool,
+    /// Seed tracking and order watchpoints from the static race detector
+    /// (`gist-analysis`) — the ranking ablation toggles this off.
+    pub enable_race_ranking: bool,
     /// Fleet shape.
     pub fleet: FleetConfig,
     /// Keep iterating until the sketch covers the ideal sketch and the
@@ -45,6 +47,7 @@ impl Default for EvalConfig {
             max_iterations: 12,
             enable_control_flow: true,
             enable_data_flow: true,
+            enable_race_ranking: true,
             fleet: FleetConfig::default(),
             stop_at_root_cause: true,
         }
@@ -53,7 +56,7 @@ impl Default for EvalConfig {
 
 /// The outcome of evaluating Gist on one bug (one Table 1 row plus the
 /// Fig. 9 accuracy bars).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BugEvaluation {
     /// Bug short name.
     pub bug: String,
@@ -86,10 +89,8 @@ pub struct BugEvaluation {
     /// Whether the final sketch contains all root-cause statements.
     pub found_root_cause: bool,
     /// Aggregate client cost counters.
-    #[serde(skip)]
     pub cost: CostSummary,
     /// The rendered final sketch.
-    #[serde(skip)]
     pub sketch: FailureSketch,
 }
 
@@ -109,6 +110,7 @@ pub fn diagnose_bug(bug: &BugSpec, cfg: &EvalConfig) -> BugEvaluation {
             max_iterations: cfg.max_iterations,
             enable_control_flow: cfg.enable_control_flow,
             enable_data_flow: cfg.enable_data_flow,
+            enable_race_ranking: cfg.enable_race_ranking,
             title: format!("Failure Sketch for {}", bug.display),
             bug_class: bug.class.label().to_owned(),
         },

@@ -6,7 +6,7 @@ use gist_core::{ClientRunData, Fleet};
 use gist_ir::Program;
 use gist_tracking::{InstrumentationPatch, TrackerRuntime};
 use gist_vm::{RunOutcome, Vm, VmConfig};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Fleet configuration.
 #[derive(Clone, Debug)]
@@ -133,18 +133,17 @@ impl<'p> SimulatedFleet<'p> {
             let program = self.program;
             let make_config = self.make_config;
             let cores = self.config.num_cores;
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for &(id, seed) in &ids_seeds {
                     let results = &results;
                     let patch = &*patch;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let run = Self::execute(program, make_config, cores, patch, id, seed);
-                        results.lock().push((id, run));
+                        results.lock().expect("fleet results lock").push((id, run));
                     });
                 }
-            })
-            .expect("fleet worker panicked");
-            let mut collected = results.into_inner();
+            });
+            let mut collected = results.into_inner().expect("fleet worker panicked");
             collected.sort_by_key(|(id, _)| *id);
             self.buffer
                 .extend(collected.into_iter().map(|(_, run)| run));

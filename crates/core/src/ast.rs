@@ -10,13 +10,12 @@
 
 use gist_ir::InstrId;
 use gist_slicing::Slice;
-use serde::{Deserialize, Serialize};
 
 /// The paper's initial tracked-slice size.
 pub const DEFAULT_SIGMA: usize = 2;
 
 /// How σ grows between AsT iterations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Growth {
     /// Double each iteration (the paper's strategy).
     Multiplicative,

@@ -36,6 +36,11 @@ pub struct GistConfig {
     pub enable_control_flow: bool,
     /// Ablation toggle: track data flow (watchpoints).
     pub enable_data_flow: bool,
+    /// Use the static race detector to (a) seed the tracked set with race
+    /// candidates touching the slice — recovering statements the alias-free
+    /// slicer cannot see, e.g. a `free` with no data-dependents — and (b)
+    /// order cooperative watch groups by race rank instead of slice order.
+    pub enable_race_ranking: bool,
     /// Sketch title.
     pub title: String,
     /// Bug classification shown on the sketch type line.
@@ -53,6 +58,7 @@ impl Default for GistConfig {
             max_iterations: 12,
             enable_control_flow: true,
             enable_data_flow: true,
+            enable_race_ranking: true,
             title: "Failure Sketch".to_owned(),
             bug_class: "Bug".to_owned(),
         }
@@ -156,7 +162,35 @@ impl<'p> GistServer<'p> {
         stop: &mut dyn FnMut(&FailureSketch) -> bool,
     ) -> DiagnosisResult {
         let slice = self.slicer.compute(report.failing_stmt);
-        let planner = Planner::new(self.program, self.slicer.ticfg());
+        // Static race analysis (tentpole wiring): candidates whose pair
+        // touches the slice contribute their *other* endpoint — typically a
+        // statement alias-free slicing missed — to the tracked set, and the
+        // full rank order prioritizes watchpoint insertion.
+        let mut race_seed: Vec<InstrId> = Vec::new();
+        let mut watch_priority: Vec<InstrId> = Vec::new();
+        if self.config.enable_race_ranking {
+            let analysis = gist_analysis::analyze(self.program);
+            watch_priority = analysis.ranked_stmts();
+            // Only high-confidence candidates seed: anything scoring more
+            // than 2 below the best is a long-shot pair whose extra endpoint
+            // would dilute sketch relevance rather than sharpen it.
+            let best = analysis.candidates.first().map_or(0, |c| c.score);
+            for c in &analysis.candidates {
+                if c.score + 2 < best {
+                    break;
+                }
+                let [a, b] = c.stmts();
+                if slice.contains(a) || slice.contains(b) {
+                    for s in [a, b] {
+                        if !slice.contains(s) && !race_seed.contains(&s) {
+                            race_seed.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        let planner =
+            Planner::new(self.program, self.slicer.ticfg()).with_watch_priority(watch_priority);
         let builder = SketchBuilder::new(self.program)
             .with_title(&self.config.title)
             .with_class(&self.config.bug_class);
@@ -185,9 +219,11 @@ impl<'p> GistServer<'p> {
             // how a root cause that static slicing missed (no alias
             // analysis) becomes fully observable.
             let mut tracked: Vec<InstrId> = ast.tracked_portion().to_vec();
-            for &d in &refinement.discovered {
-                if !tracked.contains(&d) {
-                    tracked.push(d);
+            // Race-candidate seeding joins from the very first iteration;
+            // watchpoint discoveries (below) accumulate across iterations.
+            for &s in race_seed.iter().chain(&refinement.discovered) {
+                if !tracked.contains(&s) {
+                    tracked.push(s);
                 }
             }
             let groups = planner.watch_groups(&tracked);

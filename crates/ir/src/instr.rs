@@ -1,6 +1,5 @@
 //! IR instructions, operands, and terminators.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::srcmap::SrcLoc;
@@ -10,7 +9,7 @@ use crate::types::{FuncId, GlobalId, InstrId, Value, VarId};
 ///
 /// In the paper's Algorithm 1 vocabulary, operands are the *items* that the
 /// backward slicer pushes onto its work set.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A local virtual register.
     Var(VarId),
@@ -58,7 +57,7 @@ impl Operand {
 }
 
 /// Binary arithmetic/bitwise operation kinds.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinKind {
     /// Wrapping addition.
     Add,
@@ -118,7 +117,7 @@ impl BinKind {
 }
 
 /// Comparison operation kinds (result is 0 or 1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpKind {
     /// Equal.
     Eq,
@@ -178,7 +177,7 @@ impl CmpKind {
 ///
 /// Indirect calls are why the paper needs *runtime* control-flow tracking —
 /// static slicing cannot resolve dynamically computed call targets (§3.2.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Callee {
     /// Direct call to a known function.
     Direct(FuncId),
@@ -189,7 +188,7 @@ pub enum Callee {
 
 /// String/memory intrinsics used by the evaluation programs (e.g. the Curl
 /// #965 bug calls `strlen` on a NULL pointer).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum IntrinsicKind {
     /// `strlen(p)`: count non-zero cells starting at `p`. NULL deref on `p == 0`.
     Strlen,
@@ -221,7 +220,7 @@ impl IntrinsicKind {
 }
 
 /// The operation performed by an [`Instr`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Op {
     /// `dst = const v`
     Const {
@@ -468,7 +467,7 @@ impl Op {
 }
 
 /// A single IR instruction: an operation plus identity and source location.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Instr {
     /// Program-wide unique statement id (assigned at finalize).
     pub id: InstrId,
@@ -481,7 +480,7 @@ pub struct Instr {
 /// A basic-block terminator. Terminators also receive [`InstrId`]s because
 /// branches are statements that participate in slices and control-flow
 /// tracking.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Terminator {
     /// Unconditional branch.
     Br {

@@ -1,6 +1,5 @@
 //! Programs, functions, basic blocks, globals, and validation.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use crate::types::{BlockId, FuncId, GlobalId, InstrId, Value, VarId};
 /// A global variable. Globals live at fixed addresses in the VM's data
 /// segment and are the canonical "shared variables" of the paper's
 /// concurrency bugs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Global {
     /// Identifier.
     pub id: GlobalId,
@@ -26,7 +25,7 @@ pub struct Global {
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BasicBlock {
     /// Identifier (index within the function).
     pub id: BlockId,
@@ -49,7 +48,7 @@ impl BasicBlock {
 }
 
 /// A function: named parameters, local registers, and a CFG of basic blocks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Function {
     /// Identifier.
     pub id: FuncId,
@@ -95,7 +94,7 @@ impl Function {
 /// Where a statement lives: function, block, and position.
 ///
 /// `index == block.instrs.len()` denotes the terminator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct StmtPos {
     /// Containing function.
     pub func: FuncId,
@@ -106,7 +105,7 @@ pub struct StmtPos {
 }
 
 /// A whole MiniC program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Program {
     /// Program name (used in reports and sketches).
     pub name: String,

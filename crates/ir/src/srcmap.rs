@@ -6,14 +6,13 @@
 //! [`SourceMap`] can optionally store the original source line text so the
 //! sketch renderer can show C-like statements, as in the paper's Figs 1/7/8.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::types::FileId;
 
 /// A `file:line` source position attached to an IR statement.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SrcLoc {
     /// The source file.
     pub file: FileId,
@@ -40,7 +39,7 @@ impl SrcLoc {
 }
 
 /// Interns file names and (optionally) per-line source text.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SourceMap {
     files: Vec<String>,
     /// Original source text per (file, line), used for sketch rendering.

@@ -1,6 +1,5 @@
 //! Core identifier and value types shared across the IR.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A runtime value. MiniC is untyped at runtime: everything — integers,
@@ -11,9 +10,7 @@ pub type Value = i64;
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
         $(#[$meta])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -69,7 +66,7 @@ id_type!(
 /// program is finalized. Gist's slices, instrumentation patches, trace
 /// events, and failure sketches all reference statements by `InstrId` — it
 /// plays the role the program counter plays in the paper's prototype.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstrId(pub u32);
 
 impl InstrId {
@@ -109,160 +106,5 @@ mod tests {
         assert!(InstrId(1) < InstrId(2));
         assert_eq!(InstrId(5).index(), 5);
         assert_eq!(BlockId(9).index(), 9);
-    }
-
-    #[test]
-    fn ids_roundtrip_serde() {
-        let id = InstrId(17);
-        let json = serde_json_compat(&id);
-        assert_eq!(json, "17");
-    }
-
-    fn serde_json_compat<T: serde::Serialize>(v: &T) -> String {
-        // Tiny check that the ids serialize as bare integers (important for
-        // compact trace files) without pulling serde_json into this crate.
-        struct W(String);
-        use serde::ser::*;
-        impl Serializer for &mut W {
-            type Ok = ();
-            type Error = std::fmt::Error;
-            type SerializeSeq = Impossible<(), std::fmt::Error>;
-            type SerializeTuple = Impossible<(), std::fmt::Error>;
-            type SerializeTupleStruct = Impossible<(), std::fmt::Error>;
-            type SerializeTupleVariant = Impossible<(), std::fmt::Error>;
-            type SerializeMap = Impossible<(), std::fmt::Error>;
-            type SerializeStruct = Impossible<(), std::fmt::Error>;
-            type SerializeStructVariant = Impossible<(), std::fmt::Error>;
-            fn serialize_u32(self, v: u32) -> Result<(), std::fmt::Error> {
-                self.0 = v.to_string();
-                Ok(())
-            }
-            fn serialize_newtype_struct<T: ?Sized + Serialize>(
-                self,
-                _name: &'static str,
-                value: &T,
-            ) -> Result<(), std::fmt::Error> {
-                value.serialize(self)
-            }
-            // Everything else is unreachable for our id types.
-            fn serialize_bool(self, _: bool) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_i8(self, _: i8) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_i16(self, _: i16) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_i32(self, _: i32) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_i64(self, _: i64) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_u8(self, _: u8) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_u16(self, _: u16) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_u64(self, _: u64) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_f32(self, _: f32) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_f64(self, _: f64) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_char(self, _: char) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_str(self, _: &str) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_bytes(self, _: &[u8]) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_none(self) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_some<T: ?Sized + Serialize>(self, _: &T) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_unit(self) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_unit_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-            ) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_newtype_variant<T: ?Sized + Serialize>(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_seq(
-                self,
-                _: Option<usize>,
-            ) -> Result<Self::SerializeSeq, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_tuple_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleStruct, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_tuple_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleVariant, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_map(
-                self,
-                _: Option<usize>,
-            ) -> Result<Self::SerializeMap, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStruct, std::fmt::Error> {
-                unreachable!()
-            }
-            fn serialize_struct_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStructVariant, std::fmt::Error> {
-                unreachable!()
-            }
-        }
-        let mut w = W(String::new());
-        v.serialize(&mut w).unwrap();
-        w.0
     }
 }

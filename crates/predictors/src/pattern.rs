@@ -1,11 +1,10 @@
 //! Predictor extraction from per-run observations.
 
 use gist_ir::{InstrId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Read/write flavor of one logged access (mirrors the watchpoint log).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Rw {
     /// Read.
     R,
@@ -14,7 +13,7 @@ pub enum Rw {
 }
 
 /// One shared-memory access from the watchpoint hit log.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Access {
     /// Global order (total across threads — §3.2.3).
     pub seq: u64,
@@ -31,7 +30,7 @@ pub struct Access {
 }
 
 /// The four single-variable atomicity-violation patterns of Fig. 5.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum AvPattern {
     /// Read, remote Write, Read.
     Rwr,
@@ -67,7 +66,7 @@ impl AvPattern {
 }
 
 /// The data-race / order-violation patterns of Fig. 5 (WW, WR, RW).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RacePattern {
     /// Write then write.
     Ww,
@@ -100,7 +99,7 @@ impl RacePattern {
 
 /// A failure predictor: a predicate over one run that, when true, predicts
 /// the failure (§3.3).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Predictor {
     /// An atomicity-violation instance: local/remote/local statements.
     Atomicity {
@@ -166,7 +165,7 @@ impl Predictor {
 
 /// Coarse value buckets for range/inequality predicates (paper §6 future
 /// work, implemented here as an extension).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ValueRange {
     /// Exactly zero (NULL pointers, cleared flags).
     Zero,
@@ -205,7 +204,7 @@ impl ValueRange {
 
 /// Everything Gist's server collects from one production run for the
 /// statistical analysis.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunObservations {
     /// Did this run exhibit the failure under diagnosis?
     pub failing: bool,

@@ -2,8 +2,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::pattern::{extract_predictors, Predictor, RunObservations};
 
 /// The precision-favoring β the paper uses ("Gist favors precision by
@@ -11,7 +9,7 @@ use crate::pattern::{extract_predictors, Predictor, RunObservations};
 pub const DEFAULT_BETA: f64 = 0.5;
 
 /// Occurrence counts and scores for one predictor across all runs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PredictorStats {
     /// The predictor.
     pub predictor: Predictor,

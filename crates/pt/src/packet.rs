@@ -9,10 +9,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gist_ir::InstrId;
-use serde::{Deserialize, Serialize};
 
 /// One trace packet.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Packet {
     /// Packet stream boundary — synchronization point (16 bytes).
     Psb,

@@ -1,7 +1,6 @@
 //! Sketch accuracy versus a hand-built ideal sketch (§5.2).
 
 use gist_ir::InstrId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 use crate::kendall::kendall_tau_counts;
@@ -10,7 +9,7 @@ use crate::sketch::FailureSketch;
 /// An ideal failure sketch, hand-computed per the paper's definition
 /// (§3.2): only statements with control/data dependencies to the failure,
 /// plus the highest-correlation failure-predicting events.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct IdealSketch {
     /// The ideal statement set.
     pub stmts: Vec<InstrId>,
@@ -22,7 +21,7 @@ pub struct IdealSketch {
 }
 
 /// Accuracy of a computed sketch against the ideal.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Accuracy {
     /// Relevance `A_R = 100·|G∩I|/|G∪I|` (percent).
     pub relevance: f64,

@@ -2,11 +2,10 @@
 
 use gist_ir::InstrId;
 use gist_predictors::PredictorStats;
-use serde::{Deserialize, Serialize};
 
 /// One row of a failure sketch: a statement executed at a time step by a
 /// thread.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SketchStep {
     /// 1-based time step (paper: "execution steps are enumerated along the
     /// flow of time").
@@ -30,7 +29,7 @@ pub struct SketchStep {
 }
 
 /// A complete failure sketch.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FailureSketch {
     /// Title, e.g. `Failure Sketch for pbzip2 bug #1`.
     pub title: String,

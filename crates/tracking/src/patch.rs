@@ -3,13 +3,12 @@
 use std::collections::BTreeSet;
 
 use gist_ir::{FuncId, InstrId};
-use serde::{Deserialize, Serialize};
 
 /// Instrumentation for one production run: which statements toggle PT and
 /// which memory accesses get watchpoints. This is the artifact Gist's
 /// server distributes to clients ("Gist uses bsdiff to create a binary
 /// patch file that it ships off to user endpoints", §4).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InstrumentationPatch {
     /// Statements after whose execution PT tracing turns ON (predecessor
     /// block terminators, callsites, etc.).
@@ -51,7 +50,92 @@ impl InstrumentationPatch {
 
     /// Serialized size in bytes (patch-shipping cost accounting).
     pub fn shipped_size(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        self.to_bytes().len()
+    }
+
+    /// Encodes the patch into the compact binary wire format shipped to
+    /// clients: five length-prefixed sections of little-endian `u32` ids
+    /// plus the start flag.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_section(out: &mut Vec<u8>, ids: impl Iterator<Item = u32>, len: usize) {
+            out.extend_from_slice(&(len as u32).to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        put_section(
+            &mut out,
+            self.pt_on_after.iter().map(|i| i.0),
+            self.pt_on_after.len(),
+        );
+        put_section(
+            &mut out,
+            self.pt_off_after.iter().map(|i| i.0),
+            self.pt_off_after.len(),
+        );
+        put_section(
+            &mut out,
+            self.pt_on_return_to.iter().map(|i| i.0),
+            self.pt_on_return_to.len(),
+        );
+        put_section(
+            &mut out,
+            self.pt_on_enter.iter().map(|f| f.0),
+            self.pt_on_enter.len(),
+        );
+        out.push(u8::from(self.pt_on_at_start));
+        put_section(
+            &mut out,
+            self.watch_accesses.iter().map(|i| i.0),
+            self.watch_accesses.len(),
+        );
+        put_section(
+            &mut out,
+            self.tracked.iter().map(|i| i.0),
+            self.tracked.len(),
+        );
+        out
+    }
+
+    /// Decodes a patch from the binary wire format produced by
+    /// [`InstrumentationPatch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        struct Reader<'a>(&'a [u8]);
+        impl Reader<'_> {
+            fn u32(&mut self) -> Result<u32, String> {
+                if self.0.len() < 4 {
+                    return Err("truncated patch".to_owned());
+                }
+                let (head, rest) = self.0.split_at(4);
+                self.0 = rest;
+                Ok(u32::from_le_bytes(head.try_into().unwrap()))
+            }
+            fn u8(&mut self) -> Result<u8, String> {
+                let (&b, rest) = self.0.split_first().ok_or("truncated patch")?;
+                self.0 = rest;
+                Ok(b)
+            }
+            fn ids(&mut self) -> Result<Vec<u32>, String> {
+                let n = self.u32()?;
+                (0..n).map(|_| self.u32()).collect()
+            }
+        }
+        let mut r = Reader(bytes);
+        let patch = InstrumentationPatch {
+            pt_on_after: r.ids()?.into_iter().map(InstrId).collect(),
+            pt_off_after: r.ids()?.into_iter().map(InstrId).collect(),
+            pt_on_return_to: r.ids()?.into_iter().map(InstrId).collect(),
+            pt_on_enter: r.ids()?.into_iter().map(FuncId).collect(),
+            pt_on_at_start: r.u8()? != 0,
+            watch_accesses: r.ids()?.into_iter().map(InstrId).collect(),
+            tracked: r.ids()?.into_iter().map(InstrId).collect(),
+        };
+        if r.0.is_empty() {
+            Ok(patch)
+        } else {
+            Err("trailing bytes after patch".to_owned())
+        }
     }
 
     /// Merges another patch into this one (cooperative runs may stack
@@ -82,14 +166,24 @@ mod tests {
     }
 
     #[test]
-    fn roundtrips_serde() {
+    fn roundtrips_wire_format() {
         let mut p = InstrumentationPatch::default();
         p.pt_on_after.insert(InstrId(7));
+        p.pt_on_enter.insert(FuncId(2));
+        p.pt_on_at_start = true;
         p.tracked.insert(InstrId(7));
-        let bytes = serde_json::to_vec(&p).unwrap();
-        let q: InstrumentationPatch = serde_json::from_slice(&bytes).unwrap();
+        let bytes = p.to_bytes();
+        let q = InstrumentationPatch::from_bytes(&bytes).unwrap();
         assert_eq!(p, q);
         assert_eq!(p.shipped_size(), bytes.len());
+    }
+
+    #[test]
+    fn truncated_patch_is_an_error() {
+        let mut p = InstrumentationPatch::default();
+        p.watch_accesses.insert(InstrId(3));
+        let bytes = p.to_bytes();
+        assert!(InstrumentationPatch::from_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

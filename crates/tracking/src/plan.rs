@@ -14,12 +14,28 @@ pub const WATCH_BUDGET: usize = gist_watch::NUM_SLOTS;
 pub struct Planner<'p> {
     program: &'p Program,
     ticfg: &'p Icfg,
+    watch_priority: Vec<InstrId>,
 }
 
 impl<'p> Planner<'p> {
     /// Creates a planner over the program's TICFG (shared with the slicer).
     pub fn new(program: &'p Program, ticfg: &'p Icfg) -> Planner<'p> {
-        Planner { program, ticfg }
+        Planner {
+            program,
+            ticfg,
+            watch_priority: Vec::new(),
+        }
+    }
+
+    /// Orders watchpoint insertion by an external ranking (e.g. the static
+    /// race detector's candidate order): statements earlier in `priority`
+    /// land in earlier cooperative watch groups, so the likeliest racing
+    /// accesses are monitored by the first production runs instead of
+    /// waiting their turn in slice order. Statements not mentioned keep
+    /// their relative slice order after the prioritized ones.
+    pub fn with_watch_priority(mut self, priority: Vec<InstrId>) -> Planner<'p> {
+        self.watch_priority = priority;
+        self
     }
 
     /// The watchpoint-eligible access statements among `tracked`: memory
@@ -311,7 +327,17 @@ impl<'p> Planner<'p> {
         watch_group: usize,
         patch: &mut InstrumentationPatch,
     ) {
-        let candidates = self.watch_candidates(tracked);
+        let mut candidates = self.watch_candidates(tracked);
+        if !self.watch_priority.is_empty() {
+            let rank: HashMap<InstrId, usize> = self
+                .watch_priority
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (s, i))
+                .collect();
+            // Stable: unranked statements keep slice order behind ranked ones.
+            candidates.sort_by_key(|s| rank.get(s).copied().unwrap_or(usize::MAX));
+        }
         let groups: Vec<&[InstrId]> = candidates.chunks(WATCH_BUDGET).collect();
         if groups.is_empty() {
             return;
@@ -524,6 +550,53 @@ entry:
         // Group index wraps.
         let p2 = planner.plan(&all, 2);
         assert_eq!(p2.watch_accesses, p0.watch_accesses);
+    }
+
+    #[test]
+    fn watch_priority_reorders_cooperative_groups() {
+        // Same six-site program as above; rank the last slice candidate
+        // first and it must move into watch group 0.
+        let (p, g) = setup(
+            r#"
+global a = 0
+global b = 0
+global c = 0
+fn main() {
+entry:
+  v1 = load $a
+  v2 = load $b
+  v3 = load $c
+  store $a, v1
+  store $b, v2
+  store $c, v3
+  assert v1, "x"
+  ret
+}
+"#,
+        );
+        let main = &p.functions[0];
+        let all: Vec<InstrId> = main.blocks[0].instrs.iter().map(|i| i.id).collect();
+        let last_store = main.blocks[0].instrs[5].id;
+
+        let unranked = Planner::new(&p, &g).plan(&all, 0);
+        assert!(
+            !unranked.watch_accesses.contains(&last_store),
+            "slice order leaves the last site for group 1"
+        );
+
+        let ranked = Planner::new(&p, &g)
+            .with_watch_priority(vec![last_store])
+            .plan(&all, 0);
+        assert!(
+            ranked.watch_accesses.contains(&last_store),
+            "priority promotes it into group 0"
+        );
+        // Groups stay disjoint and exhaustive under the reordering.
+        let g1 = Planner::new(&p, &g)
+            .with_watch_priority(vec![last_store])
+            .plan(&all, 1);
+        assert!(ranked.watch_accesses.is_disjoint(&g1.watch_accesses));
+        assert_eq!(ranked.watch_accesses.len() + g1.watch_accesses.len(), 6);
     }
 
     #[test]

@@ -13,10 +13,9 @@
 //! * `tid` — the executing thread.
 
 use gist_ir::{FuncId, InstrId, Value};
-use serde::{Deserialize, Serialize};
 
 /// Read/write classification of a memory access.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -25,7 +24,7 @@ pub enum AccessKind {
 }
 
 /// One architectural event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A statement retired.
     Retired {

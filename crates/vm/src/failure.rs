@@ -1,7 +1,6 @@
 //! Failure kinds, reports, and signatures.
 
 use gist_ir::{FuncId, InstrId, Program, SrcLoc};
-use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -9,7 +8,7 @@ use std::hash::{Hash, Hasher};
 ///
 /// Gist "can understand common failures, such as crashes, assertion
 /// violations, and hangs" (§3.3); these are the crash classes our VM traps.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// Dereference of NULL or an unmapped address.
     SegFault {
@@ -71,7 +70,7 @@ impl FailureKind {
 }
 
 /// One frame of a failure stack trace.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StackFrame {
     /// The function.
     pub func: FuncId,
@@ -81,7 +80,7 @@ pub struct StackFrame {
 
 /// What Gist receives when a failure occurs in production: the analog of
 /// the paper's "failure report (e.g., coredump, stack trace)" (§3).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FailureReport {
     /// Program name.
     pub program: String,

@@ -14,7 +14,6 @@
 //! ```
 
 use gist_ir::{Program, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use crate::failure::FailureKind;
@@ -29,13 +28,13 @@ pub const STACK_BASE: u64 = 0x4000_0000;
 pub const STACK_SIZE: u64 = 1 << 20;
 
 /// State of a heap allocation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum AllocState {
     Live,
     Freed,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct AllocInfo {
     size: u64,
     state: AllocState,

@@ -9,7 +9,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Picks which runnable thread executes the next statement.
 pub trait Scheduler {
@@ -133,7 +132,7 @@ impl Scheduler for FixedSchedule {
 
 /// A serializable description of a scheduler, so run configurations can be
 /// shipped between Gist's server and clients.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SchedulerKind {
     /// [`RoundRobin`] with the given quantum.
     RoundRobin {

@@ -29,13 +29,12 @@
 
 use gist_ir::{InstrId, Value};
 use gist_vm::{AccessKind, Event, Observer};
-use serde::{Deserialize, Serialize};
 
 /// Number of hardware watchpoint slots (x86 DR0–DR3).
 pub const NUM_SLOTS: usize = 4;
 
 /// When a watchpoint fires.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WatchCondition {
     /// Fire on writes only (x86 R/W bits = 01).
     WriteOnly,
@@ -54,7 +53,7 @@ impl WatchCondition {
 }
 
 /// An armed watchpoint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Watchpoint {
     /// Watched base address.
     pub addr: u64,
@@ -73,7 +72,7 @@ impl Watchpoint {
 }
 
 /// A recorded watchpoint trap.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WatchHit {
     /// Global sequence number (total order across threads).
     pub seq: u64,

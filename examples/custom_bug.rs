@@ -69,6 +69,20 @@ fn config_for(seed: u64) -> VmConfig {
 fn main() {
     let program = parse_program("myserver", PROGRAM).expect("program parses");
 
+    // Static analysis first: the verifier vouches for the hand-written IR,
+    // and the race table is empty — this bug is sequential, so diagnosis
+    // will rest on branch/value predictors instead.
+    let verification = gist_analysis::verify(&program);
+    assert!(
+        !gist_analysis::has_errors(&verification),
+        "{}",
+        gist_analysis::render_report(Some(&program), &verification)
+    );
+    let races = gist_analysis::analyze(&program);
+    println!("static race candidates:");
+    print!("{}", races.render_table(&program));
+    println!();
+
     let report = (0..16)
         .find_map(
             |seed| match Vm::new(&program, config_for(seed)).run(&mut []).outcome {

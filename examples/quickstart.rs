@@ -73,6 +73,14 @@ impl Fleet for DemoFleet<'_> {
 fn main() {
     let program = parse_program("demo", PROGRAM).expect("demo program parses");
 
+    // Step 0: static analysis. Before any production run, the lockset race
+    // detector already points at the unguarded counter accesses — the same
+    // ranking the server uses to seed tracking and order watchpoints.
+    let races = gist_analysis::analyze(&program);
+    println!("static race candidates (before any run):");
+    print!("{}", races.render_table(&program));
+    println!();
+
     // Step 1 (paper Fig. 2 ①): a failure report arrives from production.
     let report = (0..500)
         .find_map(|seed| {

@@ -88,6 +88,52 @@ fn sketches_render_with_type_line_and_threads() {
 }
 
 #[test]
+fn race_ranking_never_regresses_sketch_accuracy() {
+    // Race-candidate seeding recovers statements the alias-free slice
+    // misses (pbzip2's free) and the watch ordering lets strong order
+    // predictors emerge in fewer recurrences. Faster convergence can stop
+    // AsT before the σ-prefix swallows every ideal statement, so a bug may
+    // trade a few points of sketch completeness for halved latency — but
+    // in aggregate accuracy must not regress, no single bug may fall off a
+    // cliff, and every bug must stay above the 70% quality bar it already
+    // meets without ranking.
+    let mut sum_on = 0.0;
+    let mut sum_off = 0.0;
+    for bug in all_bugs() {
+        let on = diagnose_bug(&bug, &EvalConfig::default());
+        let off = diagnose_bug(
+            &bug,
+            &EvalConfig {
+                enable_race_ranking: false,
+                ..EvalConfig::default()
+            },
+        );
+        sum_on += on.overall;
+        sum_off += off.overall;
+        assert!(
+            on.overall >= off.overall - 10.0,
+            "{}: accuracy fell off a cliff with ranking on: {:.1}% vs {:.1}%",
+            bug.name,
+            on.overall,
+            off.overall
+        );
+        assert!(
+            on.overall >= 70.0 || off.overall < 70.0,
+            "{}: ranking dragged accuracy below the bar: {:.1}% vs {:.1}%",
+            bug.name,
+            on.overall,
+            off.overall
+        );
+    }
+    assert!(
+        sum_on >= sum_off - 1e-9,
+        "aggregate accuracy regressed with ranking on: {:.1} vs {:.1}",
+        sum_on,
+        sum_off
+    );
+}
+
+#[test]
 fn diagnosis_latency_is_a_handful_of_recurrences() {
     // The paper's Table 1 reports 2–5 recurrences per bug (with one
     // failing run gathered per iteration). Our harness gathers several

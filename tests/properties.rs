@@ -1,9 +1,12 @@
 //! Property-based tests over the core data structures and invariants.
 
+use gist_analysis::race::{lockset_intersect, Lockset};
+use gist_analysis::{Loc, MemOrigin};
 use gist_ir::builder::ProgramBuilder;
 use gist_ir::cfg::Cfg;
 use gist_ir::dom::DomTree;
-use gist_ir::{BlockId, CmpKind, InstrId};
+use gist_ir::{BlockId, CmpKind, GlobalId, InstrId};
+use gist_predictors::pattern::{AvPattern, RacePattern, Rw};
 use gist_predictors::{rank, Predictor, PredictorStats, RunObservations};
 use gist_sketch::kendall::kendall_tau_counts;
 use gist_slicing::StaticSlicer;
@@ -97,6 +100,71 @@ proptest! {
         prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
         let expected = addrs.iter().filter(|a| armed.contains(a)).count();
         prop_assert_eq!(unit.hits().len(), expected, "every watched access traps");
+    }
+}
+
+/// Strategy for one access kind.
+fn rw() -> impl Strategy<Value = Rw> {
+    prop_oneof![Just(Rw::R), Just(Rw::W)]
+}
+
+/// Strategy for one lock location (a few distinct origins and offsets so
+/// intersections are non-trivial).
+fn lock_loc() -> impl Strategy<Value = Loc> {
+    (
+        0u32..4,
+        0u32..3,
+        prop_oneof![Just(None), (0i64..3).prop_map(Some)],
+    )
+        .prop_map(|(kind, id, offset)| {
+            let origin = match kind % 3 {
+                0 => MemOrigin::Global(GlobalId(id)),
+                1 => MemOrigin::Heap(InstrId(id)),
+                _ => MemOrigin::Stack(InstrId(id)),
+            };
+            Loc { origin, offset }
+        })
+}
+
+fn lockset() -> impl Strategy<Value = Lockset> {
+    proptest::collection::btree_set(lock_loc(), 0..6)
+}
+
+proptest! {
+    /// `AvPattern::classify` is total over all kind triples and agrees
+    /// with Fig. 5: it fires exactly on the four unserializable
+    /// interleavings — both adjacent pairs conflict and the triple is not
+    /// all-writes — and the pattern's name spells the triple.
+    #[test]
+    fn av_classify_is_total_and_matches_fig5(a in rw(), b in rw(), c in rw()) {
+        let conflicts = |x: Rw, y: Rw| x == Rw::W || y == Rw::W;
+        let unserializable =
+            conflicts(a, b) && conflicts(b, c) && !(a == Rw::W && b == Rw::W && c == Rw::W);
+        let got = AvPattern::classify(a, b, c);
+        prop_assert_eq!(got.is_some(), unserializable, "triple {:?}", (a, b, c));
+        if let Some(p) = got {
+            let letter = |x: Rw| if x == Rw::W { 'W' } else { 'R' };
+            let spelled: String = [a, b, c].iter().map(|&x| letter(x)).collect();
+            prop_assert_eq!(p.name(), spelled.as_str());
+        }
+        // The race half of Fig. 5 is consistent with the same conflict
+        // notion: a pair classifies iff it conflicts.
+        prop_assert_eq!(RacePattern::classify(a, b).is_some(), conflicts(a, b));
+    }
+
+    /// Lockset intersection is commutative, associative, idempotent, has
+    /// the empty set as absorbing element, and only shrinks its operands.
+    #[test]
+    fn lockset_intersection_is_a_meet(a in lockset(), b in lockset(), c in lockset()) {
+        prop_assert_eq!(lockset_intersect(&a, &b), lockset_intersect(&b, &a));
+        prop_assert_eq!(
+            lockset_intersect(&lockset_intersect(&a, &b), &c),
+            lockset_intersect(&a, &lockset_intersect(&b, &c))
+        );
+        prop_assert_eq!(lockset_intersect(&a, &a), a.clone());
+        prop_assert_eq!(lockset_intersect(&a, &Lockset::new()), Lockset::new());
+        let ab = lockset_intersect(&a, &b);
+        prop_assert!(ab.is_subset(&a) && ab.is_subset(&b));
     }
 }
 

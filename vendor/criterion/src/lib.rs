@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the benchmarking surface the workspace's `benches/` use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter`, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple calibrated wall-clock loop (warm-up, then enough iterations to
+//! fill a short measurement window) reporting mean ns/iter — no
+//! statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f` by running it in a calibrated loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time a single run first.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~50ms of measurement, capped to keep long bodies cheap.
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.last_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id consisting of the parameter value only.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.last_ns);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_ns);
+    }
+
+    /// Ends the group (upstream finalizes reports here; we need nothing).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b);
+        report(name, b.last_ns);
+        self
+    }
+}
+
+fn report(label: &str, ns: f64) {
+    if ns >= 1_000_000.0 {
+        println!("{label:<48} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{label:<48} {:>12.3} µs/iter", ns / 1_000.0);
+    } else {
+        println!("{label:<48} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            ran = true;
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
