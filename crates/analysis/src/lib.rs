@@ -25,18 +25,40 @@
 //! alias-free data-flow slice (a racing `free`, for instance) be tracked
 //! from recurrence one.
 //!
+//! Underneath the lints sits a **monotone dataflow framework**
+//! ([`dataflow`]): one worklist solver over the TICFG parameterised by
+//! direction, join, and transfer, with interprocedural propagation riding
+//! the graph's call/return/spawn edges. It powers reaching definitions,
+//! register liveness, memory-cell liveness (whose complement is the
+//! dead-store set the watchpoint planner prunes against), and a sparse
+//! constant propagation that fills sketch `value_note`s statically. The
+//! [`deadlock`] module adds a lock-order-graph detector on top of the
+//! race detector's lockset stage, predicting ABBA inversions before any
+//! run observes them.
+//!
 //! Analyses are packaged as [`pass::Pass`]es run by a [`pass::PassManager`]
 //! over a shared [`pass::AnalysisCtx`], so new passes can reuse the lazily
 //! built TICFG.
 
+pub mod dataflow;
+pub mod deadlock;
 pub mod diag;
 pub mod pass;
 pub mod points_to;
 pub mod race;
 pub mod verify;
 
+pub use dataflow::{
+    dead_stores, live_variables, reaching_definitions, solve, ConstProp, ConstVal,
+    DataflowAnalysis, DeadStoreLintPass, Direction, Liveness, MemLiveness, ReachingDefs, Solution,
+    VarSet,
+};
+pub use deadlock::{DeadlockAnalysis, DeadlockCycle, DeadlockLintPass, LockOrderEdge};
 pub use diag::{has_errors, render_report, Diagnostic, Severity};
 pub use pass::{default_passes, AnalysisCtx, Pass, PassManager};
-pub use points_to::{Loc, MemOrigin, PointsTo};
-pub use race::{analyze, analyze_with, AccessKind, RaceAnalysis, RaceCandidate, RaceEndpoint};
+pub use points_to::{Loc, LocSet, MemOrigin, PointsTo};
+pub use race::{
+    analyze, analyze_with, shared_origins_with, AccessKind, RaceAnalysis, RaceCandidate,
+    RaceEndpoint,
+};
 pub use verify::{verify, verify_source, SourceVerification};

@@ -79,11 +79,14 @@ impl PassManager {
     }
 }
 
-/// The default pipeline: the IR verifier followed by the race lint.
+/// The default pipeline: the IR verifier followed by the dataflow lints
+/// (race, lock-order deadlock, dead store).
 pub fn default_passes() -> PassManager {
     PassManager::new()
         .with_pass(crate::verify::VerifierPass)
         .with_pass(crate::race::RaceLintPass::default())
+        .with_pass(crate::deadlock::DeadlockLintPass::default())
+        .with_pass(crate::dataflow::DeadStoreLintPass::default())
 }
 
 #[cfg(test)]
@@ -103,7 +106,10 @@ mod tests {
     fn default_pipeline_accepts_a_trivial_program() {
         let p = tiny_program();
         let pm = default_passes();
-        assert_eq!(pm.pass_names(), vec!["verify", "race-lint"]);
+        assert_eq!(
+            pm.pass_names(),
+            vec!["verify", "race-lint", "deadlock-lint", "dead-store-lint"]
+        );
         assert!(pm.run(&p).is_empty());
     }
 

@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use gist_ir::icfg::Ticfg;
-use gist_ir::{FuncId, GlobalId, InstrId, Op, Operand, Program, Terminator, VarId};
+use gist_ir::{BinKind, FuncId, GlobalId, InstrId, Op, Operand, Program, Terminator, VarId};
 
 /// Where an abstract memory cell was allocated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -98,7 +98,12 @@ impl Loc {
     }
 }
 
-type LocSet = BTreeSet<Loc>;
+/// A set of abstract locations.
+pub type LocSet = BTreeSet<Loc>;
+
+/// Offsets beyond this magnitude widen to `None`: a termination guard for
+/// offset chains grown through recursive calls.
+const OFFSET_LIMIT: i64 = 1 << 16;
 
 /// The result of the points-to fixpoint.
 #[derive(Debug, Default)]
@@ -163,23 +168,49 @@ impl PointsTo {
                 let base_set = self.operand_origins(func, *base);
                 let shifted: LocSet = base_set
                     .into_iter()
-                    .map(|loc| match (*offset, loc.offset) {
-                        (Operand::Const(c), Some(o)) => Loc::at(loc.origin, o + c),
+                    .map(|loc| match *offset {
+                        Operand::Const(c) => shift_loc(loc, c),
                         _ => Loc::anywhere(loc.origin),
                     })
                     .collect();
                 self.add_var(func, *dst, shifted)
             }
-            Op::Bin { dst, a, b, .. } => {
-                // Pointer arithmetic through plain arithmetic: keep the
-                // origins, lose the offsets.
-                let mut widened: LocSet = BTreeSet::new();
-                for operand in [a, b] {
-                    for loc in self.operand_origins(func, *operand) {
-                        widened.insert(Loc::anywhere(loc.origin));
+            Op::Bin { dst, kind, a, b } => {
+                // Pointer arithmetic through plain arithmetic. Adding or
+                // subtracting a constant is just a `gep` spelled
+                // differently, so precise offsets shift instead of
+                // widening — otherwise a later constant-offset `gep` on
+                // the result would stay widened even though every source
+                // is precise. Anything else loses the offsets.
+                let delta = |ptr: &Operand, off: &Operand, negate: bool| -> Option<(LocSet, i64)> {
+                    if let Operand::Const(c) = *off {
+                        let set = self.operand_origins(func, *ptr);
+                        if !set.is_empty() {
+                            return Some((set, if negate { -c } else { c }));
+                        }
                     }
-                }
-                self.add_var(func, *dst, widened)
+                    None
+                };
+                let shifted = match kind {
+                    BinKind::Add => delta(a, b, false).or_else(|| delta(b, a, false)),
+                    // `const - ptr` is not an address; only `ptr - const`
+                    // keeps its origin.
+                    BinKind::Sub => delta(a, b, true),
+                    _ => None,
+                };
+                let out: LocSet = match shifted {
+                    Some((set, d)) => set.into_iter().map(|loc| shift_loc(loc, d)).collect(),
+                    None => {
+                        let mut widened: LocSet = BTreeSet::new();
+                        for operand in [a, b] {
+                            for loc in self.operand_origins(func, *operand) {
+                                widened.insert(Loc::anywhere(loc.origin));
+                            }
+                        }
+                        widened
+                    }
+                };
+                self.add_var(func, *dst, out)
             }
             Op::Load { dst, addr } => {
                 let mut contents: LocSet = BTreeSet::new();
@@ -243,6 +274,17 @@ impl PointsTo {
         }
     }
 
+    /// True if two address operands (in possibly different functions) may
+    /// denote the same memory cell: the slicer's alias oracle.
+    pub fn may_alias(&self, fa: FuncId, a: Operand, fb: FuncId, b: Operand) -> bool {
+        let sa = self.operand_origins(fa, a);
+        if sa.is_empty() {
+            return false;
+        }
+        let sb = self.operand_origins(fb, b);
+        sa.iter().any(|la| sb.iter().any(|lb| la.overlaps(lb)))
+    }
+
     /// What a load through `loc` may yield: the contents of the matching
     /// concrete cell plus any unknown-offset writes to the same origin (and
     /// everything, when the load offset itself is unknown).
@@ -252,6 +294,23 @@ impl PointsTo {
             .filter(|(cell, _)| cell.overlaps(loc))
             .flat_map(|(_, contents)| contents.iter().copied())
             .collect()
+    }
+}
+
+/// Shifts a location by a constant cell delta. Widened locations stay
+/// widened (an unknown offset plus a constant is still unknown), and
+/// offsets past [`OFFSET_LIMIT`] widen so recursive shift chains converge.
+fn shift_loc(loc: Loc, delta: i64) -> Loc {
+    match loc.offset {
+        Some(o) => {
+            let n = o.saturating_add(delta);
+            if n.abs() > OFFSET_LIMIT {
+                Loc::anywhere(loc.origin)
+            } else {
+                Loc::at(loc.origin, n)
+            }
+        }
+        None => Loc::anywhere(loc.origin),
     }
 }
 
@@ -359,6 +418,82 @@ mod tests {
             arg_set.iter().next().unwrap().origin,
             MemOrigin::Heap(_)
         ));
+    }
+
+    #[test]
+    fn constant_gep_on_arithmetic_derived_pointer_stays_precise() {
+        // q = p add 2 is pointer arithmetic with a constant: it used to
+        // widen q's offset, and the constant-offset gep on q then stayed
+        // widened even though every source was precise. Both must now
+        // track exact cells.
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.function("main", &[]);
+        let p = f.alloc("p", Operand::Const(8));
+        let q = f.add("q", p.into(), Operand::Const(2));
+        f.gep("r", q.into(), Operand::Const(1));
+        f.sub("s", q.into(), Operand::Const(2));
+        f.ret(None);
+        f.finish();
+        let prog = pb.finish().unwrap();
+        let ticfg = Icfg::build_ticfg(&prog);
+        let pt = PointsTo::compute(&prog, &ticfg);
+        let main = prog.entry;
+        let alloc_id = prog.functions[main.index()].blocks[0].instrs[0].id;
+        let var = |name: &str| {
+            let idx = prog.functions[main.index()]
+                .var_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap();
+            VarId(idx as u32)
+        };
+        let h = MemOrigin::Heap(alloc_id);
+        assert_eq!(
+            pt.vars.get(&(main, var("q"))).unwrap(),
+            &[Loc::at(h, 2)].into_iter().collect::<LocSet>(),
+            "p add 2 keeps the precise offset"
+        );
+        assert_eq!(
+            pt.vars.get(&(main, var("r"))).unwrap(),
+            &[Loc::at(h, 3)].into_iter().collect::<LocSet>(),
+            "gep on the arithmetic-derived pointer stays precise"
+        );
+        assert_eq!(
+            pt.vars.get(&(main, var("s"))).unwrap(),
+            &[Loc::at(h, 0)].into_iter().collect::<LocSet>(),
+            "ptr sub const shifts back"
+        );
+    }
+
+    #[test]
+    fn non_constant_arithmetic_still_widens() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut f = pb.function("main", &[]);
+        let p = f.alloc("p", Operand::Const(4));
+        let i = f.read_input("i", 0);
+        f.add("q", p.into(), i.into());
+        f.sub("t", Operand::Const(9), p.into());
+        f.ret(None);
+        f.finish();
+        let prog = pb.finish().unwrap();
+        let ticfg = Icfg::build_ticfg(&prog);
+        let pt = PointsTo::compute(&prog, &ticfg);
+        let main = prog.entry;
+        let var = |name: &str| {
+            let idx = prog.functions[main.index()]
+                .var_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap();
+            VarId(idx as u32)
+        };
+        for name in ["q", "t"] {
+            let set = pt.vars.get(&(main, var(name))).unwrap();
+            assert!(
+                set.iter().all(|l| l.offset.is_none()),
+                "{name} must be widened, got {set:?}"
+            );
+        }
     }
 
     #[test]

@@ -196,6 +196,34 @@ pub fn analyze_with(program: &Program, ticfg: &Ticfg) -> RaceAnalysis {
     Detector::new(program, ticfg).run()
 }
 
+/// Runs only the flow-sensitive lockset stage and returns the lockset
+/// held before each statement, plus the points-to result used to name
+/// mutex cells. This is the input the lock-order deadlock detector
+/// ([`crate::deadlock`]) builds its acquisition graph from.
+pub fn locksets_with(program: &Program, ticfg: &Ticfg) -> (BTreeMap<InstrId, Lockset>, PointsTo) {
+    let mut d = Detector::new(program, ticfg);
+    d.find_contexts();
+    d.compute_locksets();
+    (d.stmt_ls, d.pts)
+}
+
+/// Memory origins accessible from more than one thread context (or from a
+/// multiply-spawned one) — the cells where cross-thread aliasing matters.
+///
+/// The alias-aware slicer restricts its may-alias write pulling to these
+/// origins: same-thread heap flows are already captured by def-use chains
+/// and runtime watchpoints, so pulling every aliasing write in a
+/// sequential program would only inflate the slice (the §3.1 blow-up).
+/// Single-threaded programs have no shared origins. Pre-spawn suppression
+/// is deliberately *not* applied here: initialization writes to a cell
+/// that later escapes still belong in the slice.
+pub fn shared_origins_with(program: &Program, ticfg: &Ticfg) -> BTreeSet<MemOrigin> {
+    let mut d = Detector::new(program, ticfg);
+    d.find_contexts();
+    let accesses = d.collect_accesses();
+    d.shared_origins(&accesses)
+}
+
 /// One shared-memory access, annotated with everything the pairing step
 /// needs.
 struct AccessRec {

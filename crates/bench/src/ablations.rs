@@ -40,7 +40,7 @@ pub fn alias_ablation() -> Vec<AliasRow> {
             let slicer = StaticSlicer::new(&bug.program);
             Some(AliasRow {
                 bug: bug.name.to_owned(),
-                no_alias: slicer.compute(report.failing_stmt).len(),
+                no_alias: slicer.compute_without_alias(report.failing_stmt).len(),
                 crude_alias: slicer.compute_with_crude_alias(report.failing_stmt).len(),
             })
         })
@@ -219,6 +219,154 @@ pub fn ranking_ablation() -> Vec<RankingRow> {
         .collect()
 }
 
+/// One bug's row of the `--dataflow` ablation: alias-aware slicing ×
+/// dead-store pruning (`gist-analysis` dataflow results in the pipeline).
+#[derive(Clone, Debug)]
+pub struct DataflowRow {
+    /// Bug name.
+    pub bug: String,
+    /// Static slice size without alias analysis (PR-1 behaviour).
+    pub slice_no_alias: usize,
+    /// Static slice size with points-to alias-aware pulling.
+    pub slice_alias: usize,
+    /// Root-cause statements inside the alias-free static slice.
+    pub root_in_slice_no_alias: bool,
+    /// Root-cause statements inside the alias-aware static slice.
+    pub root_in_slice_alias: bool,
+    /// Watchpoint candidates for the full slice (pre-budget pool the
+    /// 4-register groups are drawn from), no dead-store filter.
+    pub watchpoints_unpruned: usize,
+    /// Watchpoint candidates with liveness-based dead stores removed.
+    pub watchpoints_pruned: usize,
+    /// Overall accuracy for (alias, dead-store pruning) =
+    /// (on,on), (on,off), (off,on), (off,off).
+    pub overall: [f64; 4],
+    /// Root cause found, same configuration order.
+    pub found: [bool; 4],
+}
+
+/// Computes one bug's `--dataflow` row.
+pub fn dataflow_row(bug: &BugSpec) -> Option<DataflowRow> {
+    let (_, report) = bug.find_failure(500)?;
+    let slicer = StaticSlicer::new(&bug.program);
+    let no_alias = slicer.compute_without_alias(report.failing_stmt);
+    let alias = slicer.compute(report.failing_stmt);
+    let root = bug.root_cause_stmts();
+    let in_slice = |s: &gist_slicing::Slice| root.iter().all(|&r| s.contains(r));
+
+    // Watchpoint plans over the full alias-aware slice, with and without
+    // the dead-store filter.
+    let pts = gist_analysis::PointsTo::compute(&bug.program, slicer.ticfg());
+    let mut dead = gist_analysis::dead_stores(&bug.program, slicer.ticfg(), &pts);
+    dead.remove(&report.failing_stmt);
+    let unpruned = Planner::new(&bug.program, slicer.ticfg())
+        .watch_candidates(&alias.ordered)
+        .len();
+    let pruned = Planner::new(&bug.program, slicer.ticfg())
+        .with_dead_store_filter(dead)
+        .watch_candidates(&alias.ordered)
+        .len();
+
+    let run = |alias_on: bool, dsp_on: bool| {
+        diagnose_bug(
+            bug,
+            &EvalConfig {
+                enable_alias_slicing: alias_on,
+                enable_dead_store_pruning: dsp_on,
+                ..EvalConfig::default()
+            },
+        )
+    };
+    let evals = [
+        run(true, true),
+        run(true, false),
+        run(false, true),
+        run(false, false),
+    ];
+    Some(DataflowRow {
+        bug: bug.name.to_owned(),
+        slice_no_alias: no_alias.len(),
+        slice_alias: alias.len(),
+        root_in_slice_no_alias: in_slice(&no_alias),
+        root_in_slice_alias: in_slice(&alias),
+        watchpoints_unpruned: unpruned,
+        watchpoints_pruned: pruned,
+        overall: [
+            evals[0].overall,
+            evals[1].overall,
+            evals[2].overall,
+            evals[3].overall,
+        ],
+        found: [
+            evals[0].found_root_cause,
+            evals[1].found_root_cause,
+            evals[2].found_root_cause,
+            evals[3].found_root_cause,
+        ],
+    })
+}
+
+/// The full `--dataflow` ablation across the bugbase.
+pub fn dataflow_ablation() -> Vec<DataflowRow> {
+    all_bugs().iter().filter_map(dataflow_row).collect()
+}
+
+/// Renders the `--dataflow` ablation as text.
+pub fn dataflow_text() -> String {
+    let rows = dataflow_ablation();
+    let mut out = String::new();
+    out.push_str("Dataflow ablation — alias-aware slicing x dead-store pruning\n\n");
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}\n",
+        "bug",
+        "slice-na",
+        "slice-a",
+        "rc-na",
+        "rc-a",
+        "wp",
+        "wp-dsp",
+        "A(a,d)",
+        "A(a,-)",
+        "A(-,d)",
+        "A(-,-)"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9} {:>5} {:>5} {:>7} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+            r.bug,
+            r.slice_no_alias,
+            r.slice_alias,
+            if r.root_in_slice_no_alias {
+                "yes"
+            } else {
+                "no"
+            },
+            if r.root_in_slice_alias { "yes" } else { "no" },
+            r.watchpoints_unpruned,
+            r.watchpoints_pruned,
+            r.overall[0],
+            r.overall[1],
+            r.overall[2],
+            r.overall[3],
+        ));
+    }
+    let n = rows.len().max(1) as f64;
+    let avg = |i: usize| rows.iter().map(|r| r.overall[i]).sum::<f64>() / n;
+    out.push_str(&format!(
+        "\naverage overall: alias+dsp {:.1}%  alias {:.1}%  dsp {:.1}%  neither {:.1}%\n",
+        avg(0),
+        avg(1),
+        avg(2),
+        avg(3)
+    ));
+    out.push_str(&format!(
+        "planned watchpoints: {} unpruned -> {} with dead-store pruning\n",
+        rows.iter().map(|r| r.watchpoints_unpruned).sum::<usize>(),
+        rows.iter().map(|r| r.watchpoints_pruned).sum::<usize>(),
+    ));
+    out
+}
+
 /// Renders all ablations as text.
 pub fn ablations_text() -> String {
     let mut out = String::new();
@@ -332,6 +480,64 @@ mod tests {
                 r.bug
             );
         }
+    }
+
+    #[test]
+    fn dataflow_alias_recovers_pbzip2_racing_free_statically() {
+        // The ISSUE's acceptance criterion: alias-aware slicing puts the
+        // racing `free`/`store q, 0` into pbzip2's *static* slice (no
+        // race-seeding fallback), and dead-store pruning trims the
+        // watchpoint pool without costing accuracy.
+        let bug = bug_by_name("pbzip2-1").unwrap();
+        let r = dataflow_row(&bug).unwrap();
+        assert!(
+            r.root_in_slice_alias,
+            "alias-aware slice holds the racing writes: {r:?}"
+        );
+        assert!(
+            !r.root_in_slice_no_alias,
+            "the alias-free slice misses them: {r:?}"
+        );
+        assert!(r.found[0], "full configuration reaches the root cause");
+        assert!(
+            r.watchpoints_pruned < r.watchpoints_unpruned,
+            "dead-store pruning frees a watch slot: {r:?}"
+        );
+        assert!(
+            r.overall[0] >= r.overall[1] - 1e-9,
+            "pruning does not cost accuracy: {r:?}"
+        );
+    }
+
+    #[test]
+    fn dead_store_pruning_shrinks_watch_candidate_pool() {
+        use gist_tracking::Planner;
+        let mut total_unpruned = 0usize;
+        let mut total_pruned = 0usize;
+        for bug in all_bugs() {
+            let Some((_, report)) = bug.find_failure(500) else {
+                continue;
+            };
+            let slicer = StaticSlicer::new(&bug.program);
+            let slice = slicer.compute(report.failing_stmt);
+            let pts = gist_analysis::PointsTo::compute(&bug.program, slicer.ticfg());
+            let mut dead = gist_analysis::dead_stores(&bug.program, slicer.ticfg(), &pts);
+            dead.remove(&report.failing_stmt);
+            let unpruned = Planner::new(&bug.program, slicer.ticfg())
+                .watch_candidates(&slice.ordered)
+                .len();
+            let pruned = Planner::new(&bug.program, slicer.ticfg())
+                .with_dead_store_filter(dead)
+                .watch_candidates(&slice.ordered)
+                .len();
+            assert!(pruned <= unpruned, "{}: {pruned} > {unpruned}", bug.name);
+            total_unpruned += unpruned;
+            total_pruned += pruned;
+        }
+        assert!(
+            total_pruned < total_unpruned,
+            "pruning never fired: {total_pruned} vs {total_unpruned}"
+        );
     }
 
     #[test]

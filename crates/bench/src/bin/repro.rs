@@ -11,6 +11,7 @@
 //! repro overhead            # §5.3 per-bug overhead breakdown
 //! repro swtrace             # §6 software-only tracing factors
 //! repro ablations           # design-decision ablations (DESIGN.md)
+//! repro dataflow            # alias-aware slicing x dead-store pruning
 //! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
 //! repro bugs                # list bug names
@@ -31,6 +32,9 @@ fn main() {
         "fig13" => fig13(),
         "overhead" => overhead(),
         "ablations" => println!("{}", gist_bench::ablations::ablations_text()),
+        "dataflow" | "--dataflow" => {
+            println!("{}", gist_bench::ablations::dataflow_text());
+        }
         "races" => races(),
         "swtrace" => swtrace(),
         "bugs" => bugs(),
@@ -62,7 +66,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations races sketch bugs");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow races sketch bugs");
             std::process::exit(2);
         }
     }

@@ -29,6 +29,12 @@ pub struct EvalConfig {
     /// Seed tracking and order watchpoints from the static race detector
     /// (`gist-analysis`) — the ranking ablation toggles this off.
     pub enable_race_ranking: bool,
+    /// Alias-aware slicing via points-to — the `--dataflow` ablation
+    /// toggles this off.
+    pub enable_alias_slicing: bool,
+    /// Dead-store pruning of watchpoint plans — the `--dataflow` ablation
+    /// toggles this off.
+    pub enable_dead_store_pruning: bool,
     /// Fleet shape.
     pub fleet: FleetConfig,
     /// Keep iterating until the sketch covers the ideal sketch and the
@@ -48,6 +54,8 @@ impl Default for EvalConfig {
             enable_control_flow: true,
             enable_data_flow: true,
             enable_race_ranking: true,
+            enable_alias_slicing: true,
+            enable_dead_store_pruning: true,
             fleet: FleetConfig::default(),
             stop_at_root_cause: true,
         }
@@ -111,6 +119,8 @@ pub fn diagnose_bug(bug: &BugSpec, cfg: &EvalConfig) -> BugEvaluation {
             enable_control_flow: cfg.enable_control_flow,
             enable_data_flow: cfg.enable_data_flow,
             enable_race_ranking: cfg.enable_race_ranking,
+            enable_alias_slicing: cfg.enable_alias_slicing,
+            enable_dead_store_pruning: cfg.enable_dead_store_pruning,
             title: format!("Failure Sketch for {}", bug.display),
             bug_class: bug.class.label().to_owned(),
         },

@@ -2,10 +2,12 @@
 //! columns, time steps, data values, and the highest-ranked failure
 //! predictors into a [`FailureSketch`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
+use gist_analysis::ConstProp;
+use gist_ir::icfg::{Icfg, Ticfg};
 use gist_ir::printer::stmt_to_string;
-use gist_ir::{InstrId, Operand, Program};
+use gist_ir::{InstrId, Op, Operand, Program};
 use gist_predictors::{top_by_category, Predictor, PredictorStats};
 use gist_sketch::{FailureSketch, SketchStep};
 use gist_tracking::RunTrace;
@@ -14,6 +16,11 @@ use gist_vm::FailureReport;
 /// Builds failure sketches for one program.
 pub struct SketchBuilder<'p> {
     program: &'p Program,
+    /// TICFG for the reaching-path step pruning.
+    ticfg: Ticfg,
+    /// Sparse constant propagation facts, for static value annotations
+    /// when the dynamic trace has no hit value for a step.
+    consts: ConstProp,
     /// Sketch title (e.g. `Failure Sketch for pbzip2 bug #1`).
     pub title: String,
     /// Bug classification for the type line (`Concurrency bug` /
@@ -24,9 +31,13 @@ pub struct SketchBuilder<'p> {
 impl<'p> SketchBuilder<'p> {
     /// Creates a builder with a default title derived from the program.
     pub fn new(program: &'p Program) -> Self {
+        let ticfg = Icfg::build_ticfg(program);
+        let consts = ConstProp::compute(program, &ticfg);
         SketchBuilder {
             title: format!("Failure Sketch for {}", program.name),
             program,
+            ticfg,
+            consts,
             bug_class: "Bug".to_owned(),
         }
     }
@@ -79,18 +90,29 @@ impl<'p> SketchBuilder<'p> {
             let thread_stmts = rep.decoded.thread_stmts(tid);
             let mut hits = rep.hits.iter().filter(|h| h.tid == tid).collect::<Vec<_>>();
             hits.sort_by_key(|h| h.seq);
+            // Anchor each occurrence to the seq of this thread's *next*
+            // watch hit at or after it (it executed at or before that
+            // hit); occurrences past the last hit keep the last hit's
+            // seq. Anchoring to the *previous* hit instead would give
+            // every pre-first-hit occurrence anchor 0 and sort a late
+            // thread's prefix ahead of other threads' anchored work.
             let mut hit_idx = 0usize;
-            let mut anchor = 0u64;
+            let mut pending: Vec<(usize, InstrId)> = Vec::new();
+            let mut last_anchor = 0u64;
             for (pos, &s) in thread_stmts.iter().enumerate() {
-                // Advance the anchor when this statement matches the next
-                // watch hit of this thread.
-                if hit_idx < hits.len() && hits[hit_idx].iid == s {
-                    anchor = hits[hit_idx].seq;
-                    hit_idx += 1;
-                }
                 if stmts.contains(&s) {
-                    occurrences.push((anchor, tid, pos, s));
+                    pending.push((pos, s));
                 }
+                if hit_idx < hits.len() && hits[hit_idx].iid == s {
+                    last_anchor = hits[hit_idx].seq;
+                    hit_idx += 1;
+                    for (p, st) in pending.drain(..) {
+                        occurrences.push((last_anchor, tid, p, st));
+                    }
+                }
+            }
+            for (p, st) in pending {
+                occurrences.push((last_anchor, tid, p, st));
             }
         }
         // If a sketch statement never appears in the decoded trace (e.g. a
@@ -194,7 +216,10 @@ impl<'p> SketchBuilder<'p> {
                     .and_then(|l| self.program.source_map.line_text(l))
                     .map(str::to_owned)
                     .unwrap_or_else(|| stmt_to_string(self.program, stmt));
-                let mut value_note = value_at.get(&stmt).map(|v| v.to_string());
+                let mut value_note = value_at
+                    .get(&stmt)
+                    .map(|v| v.to_string())
+                    .or_else(|| self.static_value_note(stmt));
                 if stmt == report.failing_stmt {
                     let suffix = format!("<- Failure ({})", report.kind.label());
                     value_note = Some(match value_note {
@@ -221,7 +246,7 @@ impl<'p> SketchBuilder<'p> {
                 .partial_cmp(&a.f_measure(beta))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        FailureSketch {
+        let mut sketch = FailureSketch {
             title: self.title.clone(),
             failure_type: format!("{}, {}", self.bug_class, report.kind.label()),
             value_column,
@@ -229,7 +254,39 @@ impl<'p> SketchBuilder<'p> {
             threads,
             predictors,
             failing_stmt: Some(report.failing_stmt),
-        }
+        };
+        // Reaching-path pruning: a step whose statement neither lies on a
+        // TICFG path to the failing statement nor touches memory (the only
+        // channel through which a concurrent statement can still affect
+        // the failure) pads the sketch without explaining anything.
+        let reach: HashSet<InstrId> = self
+            .ticfg
+            .backward_order(report.failing_stmt)
+            .into_iter()
+            .collect();
+        sketch.retain_steps(|s| {
+            reach.contains(&s)
+                || self
+                    .program
+                    .instr(s)
+                    .map(|i| i.op.is_memory_access())
+                    .unwrap_or(false)
+        });
+        sketch
+    }
+
+    /// A static value annotation for `stmt` when no dynamic hit recorded
+    /// one: the constant the sparse constant propagation proves is stored
+    /// (or computed) here on every path.
+    fn static_value_note(&self, stmt: InstrId) -> Option<String> {
+        let func = self.program.stmt_func(stmt)?;
+        let instr = self.program.instr(stmt)?;
+        let op = match &instr.op {
+            Op::Store { value, .. } => *value,
+            other => Operand::Var(other.def()?),
+        };
+        let v = self.consts.operand_value(func, op)?;
+        Some(format!("{v} (static)"))
     }
 
     /// A human-readable label for the memory accessed by `stmt`.

@@ -37,10 +37,20 @@ pub struct GistConfig {
     /// Ablation toggle: track data flow (watchpoints).
     pub enable_data_flow: bool,
     /// Use the static race detector to (a) seed the tracked set with race
-    /// candidates touching the slice — recovering statements the alias-free
-    /// slicer cannot see, e.g. a `free` with no data-dependents — and (b)
-    /// order cooperative watch groups by race rank instead of slice order.
+    /// candidates touching the slice — a *fallback* for statements the
+    /// alias-aware slicer still cannot see — and (b) order cooperative
+    /// watch groups by race rank instead of slice order.
     pub enable_race_ranking: bool,
+    /// Alias-aware slicing: consult the points-to analysis so heap writes
+    /// through aliased pointer names enter the static slice directly.
+    /// Disabling reverts to syntactic (global-name-only) data dependences,
+    /// leaving discovery to watchpoints and race seeding (the `--dataflow`
+    /// ablation's "alias off" arm).
+    pub enable_alias_slicing: bool,
+    /// Dead-store pruning: exclude stores the memory-liveness dataflow
+    /// proves are never read/freed/synchronized on from watchpoint plans,
+    /// so the four debug registers go to observable accesses.
+    pub enable_dead_store_pruning: bool,
     /// Sketch title.
     pub title: String,
     /// Bug classification shown on the sketch type line.
@@ -59,6 +69,8 @@ impl Default for GistConfig {
             enable_control_flow: true,
             enable_data_flow: true,
             enable_race_ranking: true,
+            enable_alias_slicing: true,
+            enable_dead_store_pruning: true,
             title: "Failure Sketch".to_owned(),
             bug_class: "Bug".to_owned(),
         }
@@ -161,11 +173,18 @@ impl<'p> GistServer<'p> {
         ideal: Option<&BTreeSet<InstrId>>,
         stop: &mut dyn FnMut(&FailureSketch) -> bool,
     ) -> DiagnosisResult {
-        let slice = self.slicer.compute(report.failing_stmt);
-        // Static race analysis (tentpole wiring): candidates whose pair
-        // touches the slice contribute their *other* endpoint — typically a
-        // statement alias-free slicing missed — to the tracked set, and the
-        // full rank order prioritizes watchpoint insertion.
+        let slice = if self.config.enable_alias_slicing {
+            self.slicer.compute(report.failing_stmt)
+        } else {
+            self.slicer.compute_without_alias(report.failing_stmt)
+        };
+        // Static race analysis (fallback seeding): candidates whose pair
+        // touches the slice contribute their *other* endpoint to the
+        // tracked set. With alias-aware slicing on, most racing writes are
+        // already in the slice and the seed set is empty or tiny; the
+        // fallback still catches pairs the points-to analysis widens past
+        // usefulness. The full rank order prioritizes watchpoint insertion
+        // either way.
         let mut race_seed: Vec<InstrId> = Vec::new();
         let mut watch_priority: Vec<InstrId> = Vec::new();
         if self.config.enable_race_ranking {
@@ -189,8 +208,18 @@ impl<'p> GistServer<'p> {
                 }
             }
         }
-        let planner =
-            Planner::new(self.program, self.slicer.ticfg()).with_watch_priority(watch_priority);
+        // Dead-store pruning: stores the memory-liveness dataflow proves
+        // unobservable never occupy a debug register. The failing statement
+        // is always kept watchable, whatever the analysis says.
+        let mut dead = BTreeSet::new();
+        if self.config.enable_dead_store_pruning {
+            let pts = gist_analysis::PointsTo::compute(self.program, self.slicer.ticfg());
+            dead = gist_analysis::dead_stores(self.program, self.slicer.ticfg(), &pts);
+            dead.remove(&report.failing_stmt);
+        }
+        let planner = Planner::new(self.program, self.slicer.ticfg())
+            .with_watch_priority(watch_priority)
+            .with_dead_store_filter(dead);
         let builder = SketchBuilder::new(self.program)
             .with_title(&self.config.title)
             .with_class(&self.config.bug_class);

@@ -91,6 +91,28 @@ impl FailureSketch {
         self.steps.iter().any(|s| s.stmt == stmt && s.highlight)
     }
 
+    /// Drops the steps whose statement fails `keep`, renumbering the
+    /// survivors and recomputing the thread columns. The failing statement
+    /// is always retained. Returns the number of steps pruned.
+    ///
+    /// The sketch engine calls this with a reachability predicate derived
+    /// from the reaching-definitions analysis: a step with no data or
+    /// control path to the failing statement only pads the sketch the
+    /// developer reads (§3.4 aims for *concise* sketches).
+    pub fn retain_steps(&mut self, keep: impl Fn(InstrId) -> bool) -> usize {
+        let before = self.steps.len();
+        self.steps
+            .retain(|s| Some(s.stmt) == self.failing_stmt || keep(s.stmt));
+        for (i, s) in self.steps.iter_mut().enumerate() {
+            s.step = i + 1;
+        }
+        let mut threads: Vec<u32> = self.steps.iter().map(|s| s.tid).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        self.threads = threads;
+        before - self.steps.len()
+    }
+
     /// Renders the sketch as text (see [`crate::render`]).
     pub fn render(&self) -> String {
         crate::render::render(self)
@@ -153,6 +175,29 @@ mod tests {
         };
         assert_eq!(sketch.thread_steps(0).len(), 2);
         assert_eq!(sketch.thread_steps(1).len(), 1);
+    }
+
+    #[test]
+    fn retain_steps_renumbers_and_keeps_failing_stmt() {
+        let mut sketch = FailureSketch {
+            steps: vec![
+                step(1, 0, 1, false),
+                step(2, 1, 2, false),
+                step(3, 0, 3, false),
+            ],
+            threads: vec![0, 1],
+            failing_stmt: Some(InstrId(3)),
+            ..Default::default()
+        };
+        // Predicate rejects everything: only the failing stmt survives.
+        let pruned = sketch.retain_steps(|s| s == InstrId(1));
+        assert_eq!(pruned, 1);
+        assert_eq!(sketch.stmts(), vec![InstrId(1), InstrId(3)]);
+        assert_eq!(
+            sketch.steps.iter().map(|s| s.step).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(sketch.threads, vec![0], "tid 1 column dropped");
     }
 
     #[test]

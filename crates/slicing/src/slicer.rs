@@ -1,12 +1,27 @@
 //! The backward slicer (Algorithm 1) and the [`Slice`] it produces.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+use gist_analysis::points_to::{Loc, LocSet, MemOrigin, PointsTo};
 use gist_ir::icfg::Icfg;
 use gist_ir::{InstrId, Op, Operand, Program, Terminator};
 
 use crate::cdep::ControlDeps;
 use crate::items::{stmt_uses, DefUse, SliceItem};
+
+/// How the slicer resolves heap data dependences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AliasMode {
+    /// Consult the points-to analysis: a memory access pulls in the
+    /// feasible stores/frees on may-aliasing cells (the default).
+    PointsTo,
+    /// No alias analysis at all: only syntactic global links (the PR-1
+    /// behaviour, kept for the `--dataflow` ablation).
+    None,
+    /// Every pointer write may alias every pointer read (the blow-up the
+    /// paper's §3.1 warns about, kept for the alias ablation).
+    Crude,
+}
 
 /// A static backward slice: the statements that may affect the failing
 /// statement, ordered by backward distance from it.
@@ -73,16 +88,77 @@ pub struct StaticSlicer<'p> {
     ticfg: Icfg,
     defuse: DefUse,
     cdeps: ControlDeps,
+    pts: PointsTo,
+    /// Abstract cells written by each store/free, for alias-aware data
+    /// dependences. Frees are widened to their whole origin.
+    write_locs: BTreeMap<InstrId, LocSet>,
+    /// Origins reachable from more than one thread context. Alias-aware
+    /// pulling is restricted to these: same-thread heap flows are covered
+    /// by def-use chains, and pulling every aliasing write in a sequential
+    /// program is exactly the slice blow-up §3.1 warns about.
+    shared_origins: std::collections::BTreeSet<MemOrigin>,
 }
 
 impl<'p> StaticSlicer<'p> {
-    /// Builds the slicer's analyses (TICFG, def/use, control deps).
+    /// Builds the slicer's analyses (TICFG, def/use, control deps,
+    /// points-to).
     pub fn new(program: &'p Program) -> StaticSlicer<'p> {
+        let ticfg = Icfg::build_ticfg(program);
+        let pts = PointsTo::compute(program, &ticfg);
+        let mut write_locs: BTreeMap<InstrId, LocSet> = BTreeMap::new();
+        for f in &program.functions {
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    let locs = match &instr.op {
+                        Op::Store { addr, .. } => pts.operand_origins(f.id, *addr),
+                        Op::Free { addr } => pts
+                            .operand_origins(f.id, *addr)
+                            .into_iter()
+                            .map(|l| Loc::anywhere(l.origin))
+                            .collect(),
+                        _ => continue,
+                    };
+                    if !locs.is_empty() {
+                        write_locs.insert(instr.id, locs);
+                    }
+                }
+            }
+        }
+        let shared_origins = gist_analysis::shared_origins_with(program, &ticfg);
         StaticSlicer {
             program,
-            ticfg: Icfg::build_ticfg(program),
+            ticfg,
             defuse: DefUse::build(program),
             cdeps: ControlDeps::build(program),
+            pts,
+            write_locs,
+            shared_origins,
+        }
+    }
+
+    /// The abstract cells a slice statement may read (or, for a store,
+    /// overwrite): the alias-aware counterpart of `stmt_uses`.
+    fn access_locs(&self, id: InstrId) -> LocSet {
+        let Some(func) = self.program.stmt_func(id) else {
+            return LocSet::new();
+        };
+        let Some(instr) = self.program.instr(id) else {
+            return LocSet::new();
+        };
+        match &instr.op {
+            Op::Intrinsic { args, .. } => {
+                let mut locs = LocSet::new();
+                for a in args {
+                    for l in self.pts.operand_origins(func, *a) {
+                        locs.insert(Loc::anywhere(l.origin));
+                    }
+                }
+                locs
+            }
+            op => op
+                .access_addr()
+                .map(|addr| self.pts.operand_origins(func, addr))
+                .unwrap_or_default(),
         }
     }
 
@@ -143,9 +219,21 @@ impl<'p> StaticSlicer<'p> {
         dist
     }
 
-    /// Computes the backward slice for a failing statement (Algorithm 1).
+    /// Computes the backward slice for a failing statement (Algorithm 1),
+    /// with alias-aware data dependences: a memory access in the slice
+    /// pulls in every feasible store/free on a may-aliasing cell, so heap
+    /// writes through a *different pointer name* (the pbzip2 `store q, 0`
+    /// / `free mu` shape) enter the slice natively instead of waiting for
+    /// runtime watchpoints or race-detector seeding.
     pub fn compute(&self, criterion: InstrId) -> Slice {
-        self.compute_inner(criterion, false)
+        self.compute_inner(criterion, AliasMode::PointsTo)
+    }
+
+    /// Ablation: the alias-free slice (only syntactic global links). This
+    /// was the default before the points-to integration; `repro dataflow`
+    /// compares it against [`StaticSlicer::compute`].
+    pub fn compute_without_alias(&self, criterion: InstrId) -> Slice {
+        self.compute_inner(criterion, AliasMode::None)
     }
 
     /// Ablation: the slice a *crude may-alias analysis* would produce.
@@ -157,14 +245,15 @@ impl<'p> StaticSlicer<'p> {
     /// pointer-based memory write in the feasible region may alias every
     /// pointer-based read that enters the slice, so all of them join the
     /// slice. Comparing `compute_with_crude_alias(c).len()` against
-    /// `compute(c).len()` quantifies the monitoring blow-up the paper
-    /// avoided (bench: `repro ablations`).
+    /// `compute(c).len()` quantifies the monitoring blow-up a precision-
+    /// free alias analysis would cost (bench: `repro ablations`).
     pub fn compute_with_crude_alias(&self, criterion: InstrId) -> Slice {
-        self.compute_inner(criterion, true)
+        self.compute_inner(criterion, AliasMode::Crude)
     }
 
-    fn compute_inner(&self, criterion: InstrId, crude_alias: bool) -> Slice {
+    fn compute_inner(&self, criterion: InstrId, alias: AliasMode) -> Slice {
         let feasible = self.feasible(criterion);
+        let crude_alias = alias == AliasMode::Crude;
         // Crude alias mode: collect every pointer-based memory write once.
         let aliasing_writes: Vec<InstrId> = if crude_alias {
             self.program
@@ -206,6 +295,33 @@ impl<'p> StaticSlicer<'p> {
                 }
                 for u in stmt_uses(self.program, s) {
                     push_item(u, &mut seen_items, &mut item_q);
+                }
+                // Alias-aware data dependences: a memory access in the
+                // slice pulls in every feasible store/free on a
+                // may-aliasing *thread-shared* cell. This is what puts
+                // pbzip2's `store q, 0` and `free mu` — writes through
+                // *different pointer names* than the criterion's read —
+                // into the static slice without race-detector seeding.
+                // Cells confined to one thread are skipped: their flows
+                // are already on def-use chains, and pulling them would
+                // inflate sequential slices (the §3.1 blow-up).
+                if alias == AliasMode::PointsTo {
+                    let locs: LocSet = self
+                        .access_locs(s)
+                        .into_iter()
+                        .filter(|l| self.shared_origins.contains(&l.origin))
+                        .collect();
+                    if !locs.is_empty() {
+                        for (&w, wlocs) in &self.write_locs {
+                            if w != s
+                                && feasible.contains_key(&w)
+                                && !slice.contains(&w)
+                                && wlocs.iter().any(|wl| locs.iter().any(|rl| wl.overlaps(rl)))
+                            {
+                                stmt_q.push_back(w);
+                            }
+                        }
+                    }
                 }
                 // Crude alias: the first pointer-based read in the slice
                 // pulls in every pointer-based write that may reach it.
@@ -537,12 +653,155 @@ entry:
         assert!(s.contains(alloc_q), "q's allocation in slice");
         let cons = p.function_by_name("cons").unwrap();
         assert!(s.contains(cons.blocks[0].instrs[0].id), "m = load q");
-        // The root-cause stores write through *pointer registers*; with no
-        // alias analysis they are NOT in the static slice — exactly the
-        // paper's design (§3.1). Runtime watchpoints discover them and
-        // refinement adds them (§3.2.3); gist-core tests cover that.
-        assert!(!s.contains(store_null), "aliasing store missed statically");
-        assert!(!s.contains(free_stmt), "aliasing free missed statically");
+        // The root-cause stores write through *pointer registers* under
+        // different names than cons's read of `q` and lock of `m`. The
+        // points-to analysis proves both pairs may alias, so the
+        // alias-aware slicer includes them statically.
+        assert!(s.contains(store_null), "aliasing store found statically");
+        assert!(s.contains(free_stmt), "aliasing free found statically");
+    }
+
+    #[test]
+    fn pbzip2_shape_without_alias_misses_the_racing_writes() {
+        // The alias-free ablation reproduces the PR-1 slice: the writes
+        // through pointer names are invisible to syntactic data flow and
+        // only runtime watchpoints / race seeding would recover them.
+        let text = r#"
+fn cons(q) {
+entry:
+  m = load q
+  lock m
+  unlock m
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  mu = alloc 1
+  store q, mu
+  t = spawn cons(q)
+  free mu
+  store q, 0
+  join t
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let cons = p.function_by_name("cons").unwrap();
+        let crit = cons.blocks[0].instrs[1].id;
+        let slicer = StaticSlicer::new(&p);
+        let s = slicer.compute_without_alias(crit);
+        let main = p.function_by_name("main").unwrap();
+        let free_stmt = main.blocks[0].instrs[4].id;
+        let store_null = main.blocks[0].instrs[5].id;
+        assert!(!s.contains(store_null), "alias-free slice misses the store");
+        assert!(!s.contains(free_stmt), "alias-free slice misses the free");
+        // The alias-aware slice is a superset of the alias-free one.
+        let aware = slicer.compute(crit);
+        for id in &s.ordered {
+            assert!(aware.contains(*id), "alias-aware slice is a superset");
+        }
+    }
+
+    #[test]
+    fn aliased_heap_write_two_names_one_cell() {
+        // Two pointer registers name the same heap cell across threads;
+        // the write goes through one name in `main`, the read through the
+        // other in the spawned thread. The points-to analysis must connect
+        // them — no race detector involved.
+        let text = r#"
+fn reader(q) {
+entry:
+  v = load q
+  assert v, "boom"
+  ret
+}
+fn main() {
+entry:
+  p = alloc 4
+  t = spawn reader(p)
+  r = gep p, 0
+  store r, 7
+  join t
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let reader = p.function_by_name("reader").unwrap();
+        let crit = reader.blocks[0].instrs[1].id;
+        let slicer = StaticSlicer::new(&p);
+        let s = slicer.compute(crit);
+        let main = p.function_by_name("main").unwrap();
+        let store_r = main.blocks[0].instrs[3].id;
+        assert!(
+            s.contains(store_r),
+            "write through the aliased name is in the slice"
+        );
+        assert!(
+            !slicer.compute_without_alias(crit).contains(store_r),
+            "the alias-free ablation misses it"
+        );
+    }
+
+    #[test]
+    fn distinct_heap_cells_do_not_alias_into_the_slice() {
+        // Precision check: a store to a *different* allocation must not be
+        // pulled in by the alias-aware pass, even across threads.
+        let text = r#"
+fn reader(q) {
+entry:
+  v = load q
+  assert v, "boom"
+  ret
+}
+fn main() {
+entry:
+  p = alloc 4
+  other = alloc 4
+  t = spawn reader(p)
+  store other, 9
+  join t
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let reader = p.function_by_name("reader").unwrap();
+        let crit = reader.blocks[0].instrs[1].id;
+        let slicer = StaticSlicer::new(&p);
+        let s = slicer.compute(crit);
+        let main = p.function_by_name("main").unwrap();
+        let store_other = main.blocks[0].instrs[3].id;
+        assert!(
+            !s.contains(store_other),
+            "write to a distinct allocation stays out of the slice"
+        );
+    }
+
+    #[test]
+    fn thread_confined_aliased_writes_left_to_watchpoints() {
+        // In a sequential program the same two-names-one-cell shape is
+        // *not* pulled statically: the cell never escapes its thread, so
+        // the flow is left to runtime watchpoint discovery (the paper's
+        // §3.1 rationale for skipping whole-program alias analysis — a
+        // sequential slice must not balloon).
+        let text = r#"
+fn main() {
+entry:
+  p = alloc 4
+  r = gep p, 0
+  store r, 7
+  v = load p
+  assert v, "boom"
+  ret
+}
+"#;
+        let (p, s) = slice_for(text, "main", 0, 4);
+        let main = &p.functions[0];
+        let store_r = main.blocks[0].instrs[2].id;
+        assert!(
+            !s.contains(store_r),
+            "thread-confined aliased write stays out of the static slice"
+        );
     }
 
     #[test]
@@ -600,26 +859,42 @@ entry:
 
     #[test]
     fn no_alias_analysis_pointer_stores_missed() {
-        // A store through a pointer that aliases the loaded location is
-        // *not* found statically (the paper's design: runtime watchpoints
-        // add it later).
+        // Under the alias-free ablation a cross-thread store through a
+        // pointer that aliases the loaded global is *not* found statically
+        // (the PR-1 behaviour: runtime watchpoints add it later). The
+        // alias-aware default finds it.
         let text = r#"
 global cell = 0
-fn main() {
+fn reader(unused) {
 entry:
-  p = gep $cell, 0
-  store p, 5
   v = load $cell
   assert v, "boom"
   ret
 }
+fn main() {
+entry:
+  t = spawn reader(0)
+  p = gep $cell, 0
+  store p, 5
+  join t
+  ret
+}
 "#;
-        let (p, s) = slice_for(text, "main", 0, 3);
-        let main = &p.functions[0];
-        let store_p = main.blocks[0].instrs[1].id;
+        let p = parse_program("t", text).unwrap();
+        let reader = p.function_by_name("reader").unwrap();
+        let crit = reader.blocks[0].instrs[1].id;
+        let main = p.function_by_name("main").unwrap();
+        let store_p = main.blocks[0].instrs[2].id;
+        let slicer = StaticSlicer::new(&p);
+        let without = slicer.compute_without_alias(crit);
         assert!(
-            !s.contains(store_p),
-            "aliasing store must NOT be in the static slice (found at runtime)"
+            !without.contains(store_p),
+            "alias-free slice misses the store through the pointer"
+        );
+        let with = slicer.compute(crit);
+        assert!(
+            with.contains(store_p),
+            "alias-aware slice resolves the pointer to $cell"
         );
     }
 

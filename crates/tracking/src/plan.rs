@@ -15,6 +15,7 @@ pub struct Planner<'p> {
     program: &'p Program,
     ticfg: &'p Icfg,
     watch_priority: Vec<InstrId>,
+    dead_stores: BTreeSet<InstrId>,
 }
 
 impl<'p> Planner<'p> {
@@ -24,7 +25,20 @@ impl<'p> Planner<'p> {
             program,
             ticfg,
             watch_priority: Vec::new(),
+            dead_stores: BTreeSet::new(),
         }
+    }
+
+    /// Excludes statically-dead stores from watchpoint planning: a store
+    /// whose cell is provably never read, freed, or synchronized on again
+    /// (per the memory-liveness dataflow) cannot be the last write a
+    /// watchpoint would catch, so burning one of the four debug registers
+    /// on it only delays the cooperative schedule. The set is computed by
+    /// the caller (`gist_analysis::dead_stores`) so tracking stays free of
+    /// an analysis dependency.
+    pub fn with_dead_store_filter(mut self, dead: BTreeSet<InstrId>) -> Planner<'p> {
+        self.dead_stores = dead;
+        self
     }
 
     /// Orders watchpoint insertion by an external ranking (e.g. the static
@@ -45,7 +59,7 @@ impl<'p> Planner<'p> {
         tracked
             .iter()
             .copied()
-            .filter(|&s| self.is_watch_candidate(s))
+            .filter(|&s| !self.dead_stores.contains(&s) && self.is_watch_candidate(s))
             .collect()
     }
 
@@ -597,6 +611,46 @@ entry:
             .plan(&all, 1);
         assert!(ranked.watch_accesses.is_disjoint(&g1.watch_accesses));
         assert_eq!(ranked.watch_accesses.len() + g1.watch_accesses.len(), 6);
+    }
+
+    #[test]
+    fn dead_store_filter_frees_watch_slots() {
+        // Six watchable sites need two cooperative groups; filtering two
+        // of them as dead stores fits the rest into one group.
+        let (p, g) = setup(
+            r#"
+global a = 0
+global b = 0
+global c = 0
+fn main() {
+entry:
+  v1 = load $a
+  v2 = load $b
+  v3 = load $c
+  store $a, v1
+  store $b, v2
+  store $c, v3
+  assert v1, "x"
+  ret
+}
+"#,
+        );
+        let main = &p.functions[0];
+        let all: Vec<InstrId> = main.blocks[0].instrs.iter().map(|i| i.id).collect();
+        let dead: BTreeSet<InstrId> = [main.blocks[0].instrs[4].id, main.blocks[0].instrs[5].id]
+            .into_iter()
+            .collect();
+        let unfiltered = Planner::new(&p, &g);
+        assert_eq!(unfiltered.watch_groups(&all), 2);
+        let filtered = Planner::new(&p, &g).with_dead_store_filter(dead.clone());
+        assert_eq!(filtered.watch_groups(&all), 1);
+        let patch = filtered.plan(&all, 0);
+        for d in &dead {
+            assert!(
+                !patch.watch_accesses.contains(d),
+                "dead store never occupies a debug register"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct TrackerRuntime<'p> {
     watch: WatchUnit,
     /// addr -> arming statement, for discovery bookkeeping.
     armed_for: HashMap<u64, InstrId>,
+    /// Cores with a resume point pending until the `ret` retires. The VM
+    /// emits `Return { to }` while executing the `ret`, before its
+    /// `Retired` event; applying the resume immediately would let a
+    /// `pt_off_after` on the `ret` itself clobber it.
+    pending_resume: BTreeSet<u32>,
     missed_arms: u64,
 }
 
@@ -80,6 +85,7 @@ impl<'p> TrackerRuntime<'p> {
             tracer,
             watch: WatchUnit::new(),
             armed_for: HashMap::new(),
+            pending_resume: BTreeSet::new(),
             missed_arms: 0,
         }
     }
@@ -180,6 +186,12 @@ impl Observer for TrackerRuntime<'_> {
             if self.patch.pt_on_after.contains(iid) {
                 self.driver.trace_on(*core);
             }
+            // A resume point deferred from the `Return` event takes effect
+            // once the `ret` itself has retired (and any stop on it has
+            // been applied) — control is now at the return target.
+            if self.pending_resume.remove(core) {
+                self.driver.trace_on(*core);
+            }
         }
         // 4. Function-entry start points (tracked statements in callee /
         //    thread-routine entry blocks) fire in the entering thread.
@@ -189,13 +201,16 @@ impl Observer for TrackerRuntime<'_> {
             }
         }
         // 5. Resume points: returning to the statement after a callsite
-        //    whose callee stopped tracing re-enables it.
+        //    whose callee stopped tracing re-enables it. The VM emits
+        //    `Return` before the `ret`'s `Retired`, so defer the actual
+        //    toggle to step 3's Retired handler; enabling here would be
+        //    undone by a `pt_off_after` stop on the `ret` itself.
         if let Event::Return {
             to: Some(to), core, ..
         } = ev
         {
             if self.patch.pt_on_return_to.contains(to) {
-                self.driver.trace_on(*core);
+                self.pending_resume.insert(*core);
             }
         }
     }
@@ -232,14 +247,17 @@ entry:
 }
 "#;
 
-    /// Runs PBZIP_MINI with a patch planned from the static slice of the
-    /// `lock m` criterion; returns (outcome was failure, trace).
+    /// Runs PBZIP_MINI with a patch planned from the *alias-free* static
+    /// slice of the `lock m` criterion (the paper's configuration — no
+    /// static alias analysis — so the racing store stays outside the slice
+    /// and must be discovered by watchpoints); returns (outcome was
+    /// failure, trace).
     fn run_tracked(seed: u64, sigma: usize) -> (bool, RunTrace) {
         let p = parse_program("pbzip2-mini", PBZIP_MINI).unwrap();
         let cons = p.function_by_name("cons").unwrap();
         let crit = cons.blocks[0].instrs[1].id; // lock m
         let slicer = StaticSlicer::new(&p);
-        let slice = slicer.compute(crit);
+        let slice = slicer.compute_without_alias(crit);
         let planner = Planner::new(&p, slicer.ticfg());
         let patch = planner.plan(slice.prefix(sigma), 0);
         let mut tracker = TrackerRuntime::new(&p, patch, 4);

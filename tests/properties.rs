@@ -343,3 +343,61 @@ fn text_format_roundtrips_all_bugbase_programs() {
         assert_eq!(run(&bug.program), run(&reparsed), "{}", bug.name);
     }
 }
+
+/// Dataflow consistency (the monotone framework's two flagship problems
+/// agree): at every register *use site* in every bugbase program, the used
+/// register is live-in there, and it either has a reaching definition at
+/// that point or is a parameter of its function. Liveness flows backward
+/// and reaching definitions forward over the same TICFG, so any path that
+/// reads a register must have passed its (never-killed, SSA) def — a
+/// mismatch would mean a transfer function or the worklist solver is
+/// wrong.
+///
+/// The check anchors at use sites rather than raw live-in sets: the
+/// may-TICFG conflates all spawn/join pairs of a routine, so a joined tid
+/// can leak backward through the routine into an *earlier* spawn site
+/// where its def genuinely does not reach. At the use itself both
+/// solutions must agree.
+#[test]
+fn used_registers_are_live_with_reaching_defs_in_all_bugbase_programs() {
+    use gist_analysis::{live_variables, reaching_definitions, PointsTo};
+    use gist_ir::icfg::Icfg;
+    for bug in gist_bugbase::all_bugs() {
+        let p = &bug.program;
+        let ticfg = Icfg::build_ticfg(p);
+        let pts = PointsTo::compute(p, &ticfg);
+        let live = live_variables(p, &ticfg);
+        let reach = reaching_definitions(p, &ticfg, &pts);
+        let mut use_sites = 0usize;
+        for id in p.all_stmt_ids() {
+            let Some(f) = p.stmt_func(id) else { continue };
+            let uses: Vec<_> = match (p.instr(id), p.terminator(id)) {
+                (Some(i), _) => i.op.uses(),
+                (None, Some(t)) => t.uses(),
+                _ => continue,
+            };
+            for v in uses.iter().filter_map(|u| u.as_var()) {
+                use_sites += 1;
+                assert!(
+                    live.before(id).contains(&(f, v)),
+                    "{}: {:?} used at {:?} but not live-in",
+                    bug.name,
+                    (f, v),
+                    id
+                );
+                let is_param = p.function(f).params.contains(&v);
+                let has_def = reach.before(id).iter().any(|&d| {
+                    p.stmt_func(d) == Some(f) && p.instr(d).and_then(|i| i.op.def()) == Some(v)
+                });
+                assert!(
+                    has_def || is_param,
+                    "{}: {:?} used at {:?} with no reaching def",
+                    bug.name,
+                    (f, v),
+                    id
+                );
+            }
+        }
+        assert!(use_sites > 0, "{}: no register uses visited", bug.name);
+    }
+}
