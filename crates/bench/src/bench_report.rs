@@ -1,0 +1,199 @@
+//! `repro -- bench`: the perf-trajectory emitter.
+//!
+//! Drives the full bugbase through [`gist_coop::diagnose_bug`] with metrics
+//! enabled and writes `BENCH_gist.json`. The report has two top-level
+//! sections:
+//!
+//! * `deterministic` — per-bug diagnosis rows plus the counter/histogram
+//!   snapshot. Under fixed seeds this section is **byte-identical** across
+//!   runs (the gist-obs determinism contract), so CI can diff it against a
+//!   committed baseline.
+//! * `timing` — wall-clock per bug, span timers, and fleet throughput at
+//!   batch=1 vs batch=8. Real time; never compared byte-for-byte.
+
+use std::time::Instant;
+
+use gist_bugbase::{all_bugs, bug_by_name, BugSpec};
+use gist_coop::{diagnose_bug, BugEvaluation, EvalConfig, FleetConfig, SimulatedFleet};
+use gist_core::Fleet;
+use gist_obs::json::Json;
+use gist_slicing::StaticSlicer;
+use gist_tracking::{InstrumentationPatch, Planner};
+
+/// Runs per batch arm of the throughput measurement. A multiple of the
+/// batch size, so batch=8 executes exactly as many runs as batch=1.
+pub const THROUGHPUT_RUNS: u64 = 512;
+
+/// The parallel batch size measured against batch=1.
+pub const THROUGHPUT_BATCH: usize = 8;
+
+/// One bench run's output, split along the determinism contract.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Per-bug rows + metrics snapshot; byte-identical across same-seed runs.
+    pub deterministic: Json,
+    /// Wall-clock timings and throughput; informational only.
+    pub timing: Json,
+}
+
+impl BenchReport {
+    /// The full report as a JSON value.
+    pub fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("gist-bench/v1".into())),
+            ("deterministic".into(), self.deterministic.clone()),
+            ("timing".into(), self.timing.clone()),
+        ])
+    }
+
+    /// Pretty-printed JSON (what `BENCH_gist.json` holds).
+    pub fn to_json(&self) -> String {
+        self.to_value().pretty()
+    }
+
+    /// Compact JSON of only the deterministic section (what determinism
+    /// tests compare byte-for-byte).
+    pub fn deterministic_json(&self) -> String {
+        self.deterministic.render()
+    }
+}
+
+fn bug_row(eval: &BugEvaluation) -> Json {
+    Json::Obj(vec![
+        ("recurrences".into(), Json::U64(eval.recurrences as u64)),
+        ("total_runs".into(), Json::U64(eval.total_runs as u64)),
+        ("iterations".into(), Json::U64(eval.iterations as u64)),
+        ("final_sigma".into(), Json::U64(eval.final_sigma as u64)),
+        ("slice_instrs".into(), Json::U64(eval.slice_instrs as u64)),
+        ("sketch_instrs".into(), Json::U64(eval.sketch_instrs as u64)),
+        ("relevance".into(), Json::F64(eval.relevance)),
+        ("ordering".into(), Json::F64(eval.ordering)),
+        ("overall".into(), Json::F64(eval.overall)),
+        ("found_root_cause".into(), Json::Bool(eval.found_root_cause)),
+        ("pt_bytes".into(), Json::U64(eval.cost.pt_bytes)),
+        ("watch_traps".into(), Json::U64(eval.cost.watch_traps)),
+        (
+            "instrumentation_points".into(),
+            Json::U64(eval.cost.instrumentation_points),
+        ),
+        ("patch_bytes".into(), Json::U64(eval.cost.patch_bytes)),
+    ])
+}
+
+/// A representative instrumentation patch for throughput runs: plan the
+/// first watch group over an 8-statement slice prefix of the bug's failure.
+fn throughput_patch(bug: &BugSpec) -> InstrumentationPatch {
+    let (_, report) = bug
+        .find_failure(2_000)
+        .unwrap_or_else(|| panic!("{}: bug never manifests", bug.name));
+    let slicer = StaticSlicer::new(&bug.program);
+    let slice = slicer.compute(report.failing_stmt);
+    let planner = Planner::new(&bug.program, slicer.ticfg());
+    let tracked = slice.prefix(8).to_vec();
+    planner.plan(&tracked, 0)
+}
+
+/// Measures fleet throughput (runs/sec) over `runs` tracked runs of
+/// pbzip2-1 for each batch size. Returns `(batch, runs_per_sec)` pairs.
+pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<(usize, f64)> {
+    let bug = bug_by_name("pbzip2-1").expect("bugbase has pbzip2-1");
+    let patch = throughput_patch(&bug);
+    batches
+        .iter()
+        .map(|&batch| {
+            let mut fleet = SimulatedFleet::for_bug(
+                &bug,
+                FleetConfig {
+                    endpoints: 64,
+                    num_cores: 4,
+                    batch,
+                },
+            );
+            let t0 = Instant::now();
+            for _ in 0..runs {
+                let _ = Fleet::next_run(&mut fleet, &patch);
+            }
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            (batch, runs as f64 / secs)
+        })
+        .collect()
+}
+
+/// Runs the bench: every bugbase bug through `diagnose_bug` (or the named
+/// subset, for cheap determinism tests), then the throughput measurement.
+///
+/// Resets the global metrics registry first, so the snapshot covers exactly
+/// this run — callers that share the process with other metric producers
+/// (tests in the same binary) get polluted counters; run bench in its own
+/// process for byte-stable output.
+pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
+    gist_obs::reset();
+    let t_total = Instant::now();
+    let mut rows: Vec<(String, Json)> = Vec::new();
+    let mut wall: Vec<(String, Json)> = Vec::new();
+    let mut evals = Vec::new();
+    for bug in all_bugs() {
+        if let Some(names) = filter {
+            if !names.contains(&bug.name) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let eval = diagnose_bug(&bug, &EvalConfig::default());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        rows.push((bug.name.to_owned(), bug_row(&eval)));
+        wall.push((bug.name.to_owned(), Json::F64(ms)));
+        evals.push(eval);
+    }
+    let snapshot = gist_obs::snapshot();
+    let deterministic = Json::Obj(vec![
+        ("bugs".into(), Json::Obj(rows)),
+        ("metrics".into(), snapshot.deterministic_value()),
+    ]);
+
+    let throughput = fleet_throughput(THROUGHPUT_RUNS, &[1, THROUGHPUT_BATCH]);
+    let batch1 = throughput.first().map_or(0.0, |&(_, r)| r);
+    let batchn = throughput.last().map_or(0.0, |&(_, r)| r);
+    let timing = Json::Obj(vec![
+        (
+            "total_ms".into(),
+            Json::F64(t_total.elapsed().as_secs_f64() * 1e3),
+        ),
+        ("per_bug_ms".into(), Json::Obj(wall)),
+        ("spans".into(), snapshot.timers_value()),
+        (
+            "fleet_throughput".into(),
+            Json::Obj(vec![
+                ("runs_per_arm".into(), Json::U64(THROUGHPUT_RUNS)),
+                ("batch1_runs_per_sec".into(), Json::F64(batch1)),
+                (
+                    format!("batch{THROUGHPUT_BATCH}_runs_per_sec"),
+                    Json::F64(batchn),
+                ),
+                (
+                    "parallel_speedup".into(),
+                    Json::F64(if batch1 > 0.0 { batchn / batch1 } else { 0.0 }),
+                ),
+            ]),
+        ),
+        (
+            "metrics_feature".into(),
+            Json::Str(
+                if cfg!(feature = "metrics-off") {
+                    "off"
+                } else {
+                    "on"
+                }
+                .into(),
+            ),
+        ),
+    ]);
+
+    (
+        BenchReport {
+            deterministic,
+            timing,
+        },
+        evals,
+    )
+}

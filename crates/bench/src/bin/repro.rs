@@ -15,10 +15,18 @@
 //! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
 //! repro bugs                # list bug names
+//! repro bench               # full-bugbase perf run -> BENCH_gist.json
 //! ```
+//!
+//! `table1`, `fig9`, `all`, and `bench` exit non-zero when any bug's sketch
+//! accuracy falls below the floors recorded in
+//! `gist_bench::expectations::EXPECTATIONS`.
 
+use gist_bench::bench_report;
+use gist_bench::expectations;
 use gist_bench::experiments;
 use gist_bench::format;
+use gist_coop::BugEvaluation;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +34,7 @@ fn main() {
     match cmd {
         "table1" => table1(),
         "fig9" => fig9(),
+        "bench" => bench(args.get(1).map(String::as_str)),
         "fig10" => fig10(),
         "fig11" => fig11(),
         "fig12" => fig12(),
@@ -49,8 +58,9 @@ fn main() {
             }
         }
         "all" => {
-            table1();
-            fig9();
+            let evals = experiments::table1();
+            println!("{}", format::table1_text(&evals));
+            println!("{}", format::fig9_text(&evals));
             fig10();
             fig11();
             fig12();
@@ -63,23 +73,51 @@ fn main() {
                     println!("{s}");
                 }
             }
+            gate_accuracy(&evals);
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow races sketch bugs");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow races sketch bugs bench");
             std::process::exit(2);
         }
+    }
+}
+
+/// Exits non-zero, naming each failing bug, when accuracy falls below the
+/// recorded per-bug floors (previously `repro` exited 0 on regressions).
+fn gate_accuracy(evals: &[BugEvaluation]) {
+    let violations = expectations::check(evals);
+    if !violations.is_empty() {
+        eprintln!("accuracy regression against recorded expectations:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
     }
 }
 
 fn table1() {
     let evals = experiments::table1();
     println!("{}", format::table1_text(&evals));
+    gate_accuracy(&evals);
 }
 
 fn fig9() {
     let evals = experiments::table1();
     println!("{}", format::fig9_text(&evals));
+    gate_accuracy(&evals);
+}
+
+fn bench(out: Option<&str>) {
+    let path = out.unwrap_or("BENCH_gist.json");
+    let (report, evals) = bench_report::run(None);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} bugs)", evals.len());
+    gate_accuracy(&evals);
 }
 
 fn fig10() {

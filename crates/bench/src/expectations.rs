@@ -1,0 +1,104 @@
+//! Recorded per-bug accuracy expectations.
+//!
+//! `repro -- table1` (and `fig9`, `all`, `bench`) used to exit 0 even when
+//! sketch accuracy regressed; these floors make a regression fail the run.
+//! Floors are recorded from an actual run of the paper-default pipeline
+//! (σ₀ = 2, multiplicative growth, β = 0.5) with ~10 points of margin, so
+//! they trip on real regressions rather than on noise.
+
+use gist_coop::BugEvaluation;
+
+/// The recorded floor for one bug.
+#[derive(Clone, Copy, Debug)]
+pub struct BugExpectation {
+    /// Bugbase short name.
+    pub bug: &'static str,
+    /// Minimum acceptable overall accuracy (percent).
+    pub min_overall: f64,
+    /// Whether the diagnosis must identify the root cause.
+    pub require_root_cause: bool,
+}
+
+/// Per-bug floors, recorded 2026-08 from the seed pipeline.
+pub const EXPECTATIONS: &[BugExpectation] = &[
+    BugExpectation {
+        bug: "apache-21285",
+        min_overall: 75.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "apache-21287",
+        min_overall: 80.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "apache-25520",
+        min_overall: 60.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "apache-45605",
+        min_overall: 85.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "cppcheck-2782",
+        min_overall: 85.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "cppcheck-3238",
+        min_overall: 70.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "curl-965",
+        min_overall: 80.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "memcached-127",
+        min_overall: 55.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "pbzip2-1",
+        min_overall: 80.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "sqlite-1672",
+        min_overall: 70.0,
+        require_root_cause: true,
+    },
+    BugExpectation {
+        bug: "transmission-1818",
+        min_overall: 80.0,
+        require_root_cause: true,
+    },
+];
+
+/// Checks evaluations against the recorded floors. Returns one human-readable
+/// violation per failing bug; empty means accuracy is no worse than recorded.
+pub fn check(evals: &[BugEvaluation]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for exp in EXPECTATIONS {
+        let Some(eval) = evals.iter().find(|e| e.bug == exp.bug) else {
+            violations.push(format!("{}: missing from results", exp.bug));
+            continue;
+        };
+        if eval.overall < exp.min_overall {
+            violations.push(format!(
+                "{}: overall accuracy {:.1}% below recorded floor {:.1}%",
+                exp.bug, eval.overall, exp.min_overall
+            ));
+        }
+        if exp.require_root_cause && !eval.found_root_cause {
+            violations.push(format!(
+                "{}: root cause no longer identified in the sketch",
+                exp.bug
+            ));
+        }
+    }
+    violations
+}

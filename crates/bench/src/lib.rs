@@ -14,6 +14,8 @@
 //! `tests/`.
 
 pub mod ablations;
+pub mod bench_report;
+pub mod expectations;
 pub mod experiments;
 pub mod format;
 pub mod races;

@@ -111,6 +111,10 @@ impl<'p> SimulatedFleet<'p> {
     /// `config.batch > 1`.
     fn refill(&mut self, patch: &InstrumentationPatch) {
         let batch = self.config.batch.max(1);
+        // Batch shape depends on the execution configuration, not on the
+        // logical work, so it is a histogram — counters must stay identical
+        // across batch sizes (the determinism contract).
+        gist_obs::histogram!("fleet.batch_occupancy").record(batch as u64);
         let ids_seeds: Vec<(u64, u64)> = (0..batch as u64)
             .map(|i| {
                 let n = self.next_run + i;
@@ -157,6 +161,8 @@ impl Fleet for SimulatedFleet<'_> {
         if self.buffered_patch.as_ref() != Some(patch) {
             // Patch changed (new AsT iteration / watch group): discard any
             // prefetched runs; those executions simply never report back.
+            // Discard counts also depend on batch shape -> histogram.
+            gist_obs::histogram!("fleet.runs_discarded").record(self.buffer.len() as u64);
             self.buffer.clear();
             self.buffered_patch = None;
         }
@@ -165,8 +171,10 @@ impl Fleet for SimulatedFleet<'_> {
         }
         let run = self.buffer.pop_front().expect("refill produced runs");
         self.runs += 1;
+        gist_obs::counter!("fleet.runs_dispatched").inc();
         if run.outcome.is_some() {
             self.failing_runs += 1;
+            gist_obs::counter!("fleet.failing_runs").inc();
         }
         run
     }
@@ -198,6 +206,55 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(runs_with(1), runs_with(4), "batching must not change runs");
+    }
+
+    /// The bug's shipped patch: what the server would plan for the first
+    /// watch group over an 8-statement slice prefix of the failure.
+    fn planned_patch(bug: &gist_bugbase::BugSpec) -> InstrumentationPatch {
+        let (_, report) = bug.find_failure(2_000).expect("bug manifests");
+        let slicer = gist_slicing::StaticSlicer::new(&bug.program);
+        let slice = slicer.compute(report.failing_stmt);
+        let planner = gist_tracking::Planner::new(&bug.program, slicer.ticfg());
+        planner.plan(slice.prefix(8), 0)
+    }
+
+    /// Differential: for EVERY bugbase bug under its shipped patch, the
+    /// batched fleet is run-for-run indistinguishable from the sequential
+    /// one — same outcomes, same retired counts, and the same watchpoint
+    /// hit sequences. 16 runs is a multiple of the batch size, so the
+    /// batch arm executes exactly as many runs as the sequential arm.
+    #[test]
+    fn batched_fleets_agree_on_every_bug_under_shipped_patch() {
+        for bug in gist_bugbase::all_bugs() {
+            let patch = planned_patch(&bug);
+            let runs_with = |batch: usize| {
+                let mut fleet = SimulatedFleet::for_bug(
+                    &bug,
+                    FleetConfig {
+                        endpoints: 8,
+                        num_cores: 4,
+                        batch,
+                    },
+                );
+                (0..16)
+                    .map(|_| {
+                        let r = Fleet::next_run(&mut fleet, &patch);
+                        (
+                            r.run_id,
+                            r.outcome.map(|o| format!("{o:?}")),
+                            r.retired,
+                            r.trace.hits,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                runs_with(1),
+                runs_with(8),
+                "{}: batch=8 must match sequential runs exactly",
+                bug.name
+            );
+        }
     }
 
     #[test]

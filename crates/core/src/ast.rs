@@ -82,6 +82,8 @@ impl AstController {
             Growth::Multiplicative => self.sigma.saturating_mul(2),
             Growth::Linear(step) => self.sigma.saturating_add(step.max(1)),
         };
+        gist_obs::counter!("server.ast_advances").inc();
+        gist_obs::histogram!("server.ast_sigma").record(self.sigma as u64);
         self.sigma
     }
 }

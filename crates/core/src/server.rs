@@ -173,10 +173,15 @@ impl<'p> GistServer<'p> {
         ideal: Option<&BTreeSet<InstrId>>,
         stop: &mut dyn FnMut(&FailureSketch) -> bool,
     ) -> DiagnosisResult {
-        let slice = if self.config.enable_alias_slicing {
-            self.slicer.compute(report.failing_stmt)
-        } else {
-            self.slicer.compute_without_alias(report.failing_stmt)
+        let _span_diagnose = gist_obs::span("server.diagnose");
+        gist_obs::counter!("server.diagnoses").inc();
+        let slice = {
+            let _span = gist_obs::span("server.slice");
+            if self.config.enable_alias_slicing {
+                self.slicer.compute(report.failing_stmt)
+            } else {
+                self.slicer.compute_without_alias(report.failing_stmt)
+            }
         };
         // Static race analysis (fallback seeding): candidates whose pair
         // touches the slice contribute their *other* endpoint to the
@@ -187,6 +192,8 @@ impl<'p> GistServer<'p> {
         // either way.
         let mut race_seed: Vec<InstrId> = Vec::new();
         let mut watch_priority: Vec<InstrId> = Vec::new();
+        let mut dead = BTreeSet::new();
+        let _span_analyze = gist_obs::span("server.analyze");
         if self.config.enable_race_ranking {
             let analysis = gist_analysis::analyze(self.program);
             watch_priority = analysis.ranked_stmts();
@@ -211,12 +218,12 @@ impl<'p> GistServer<'p> {
         // Dead-store pruning: stores the memory-liveness dataflow proves
         // unobservable never occupy a debug register. The failing statement
         // is always kept watchable, whatever the analysis says.
-        let mut dead = BTreeSet::new();
         if self.config.enable_dead_store_pruning {
             let pts = gist_analysis::PointsTo::compute(self.program, self.slicer.ticfg());
             dead = gist_analysis::dead_stores(self.program, self.slicer.ticfg(), &pts);
             dead.remove(&report.failing_stmt);
         }
+        drop(_span_analyze);
         let planner = Planner::new(self.program, self.slicer.ticfg())
             .with_watch_priority(watch_priority)
             .with_dead_store_filter(dead);
@@ -242,6 +249,7 @@ impl<'p> GistServer<'p> {
 
         loop {
             iterations += 1;
+            gist_obs::counter!("server.iterations").inc();
             // Refinement's additive half (§3): statements the watchpoints
             // discovered join the tracked slice, so later iterations trace
             // them with PT and arm watchpoints at them directly — this is
@@ -255,11 +263,13 @@ impl<'p> GistServer<'p> {
                     tracked.push(s);
                 }
             }
+            gist_obs::histogram!("server.tracked_size").record(tracked.len() as u64);
             let groups = planner.watch_groups(&tracked);
             let mut iter_obs: Vec<RunObservations> = Vec::new();
             let mut failing_this_iter = 0usize;
             let mut runs_this_iter = 0usize;
 
+            let span_collect = gist_obs::span("server.collect");
             while failing_this_iter < self.config.failing_runs_per_iteration
                 && runs_this_iter < self.config.max_runs_per_iteration
             {
@@ -275,8 +285,12 @@ impl<'p> GistServer<'p> {
                 if !self.config.enable_data_flow {
                     patch.watch_accesses.clear();
                 }
+                let shipped = patch.shipped_size() as u64;
                 cost.instrumentation_points += patch.instrumentation_points() as u64;
-                cost.patch_bytes += patch.shipped_size() as u64;
+                cost.patch_bytes += shipped;
+                gist_obs::histogram!("tracking.patch_bytes").record(shipped);
+                gist_obs::histogram!("tracking.patch_points")
+                    .record(patch.instrumentation_points() as u64);
 
                 let run = fleet.next_run(&patch);
                 runs_this_iter += 1;
@@ -295,10 +309,15 @@ impl<'p> GistServer<'p> {
                     }
                 }
             }
+            drop(span_collect);
             recurrences += failing_this_iter;
             total_runs += runs_this_iter;
+            gist_obs::counter!("server.recurrences").add(failing_this_iter as u64);
+            gist_obs::counter!("server.runs_consumed").add(runs_this_iter as u64);
 
+            let span_rank = gist_obs::span("server.rank");
             ranked = rank(&iter_obs, self.config.beta);
+            drop(span_rank);
             let stmts = if self.config.enable_control_flow {
                 refinement.sketch_stmts()
             } else {
@@ -308,6 +327,7 @@ impl<'p> GistServer<'p> {
                 s
             };
             if let Some(rep) = &representative {
+                let _span_sketch = gist_obs::span("server.sketch");
                 sketch = builder.build(report, &stmts, rep, &ranked, self.config.beta, ideal);
             }
 
@@ -317,6 +337,14 @@ impl<'p> GistServer<'p> {
             }
             ast.advance();
         }
+
+        // AsT refinement tallies: promotions are statements the watchpoints
+        // discovered and added to tracking; demotions are tracked statements
+        // refinement proved never execute in failing runs.
+        gist_obs::counter!("server.ast_promotions").add(refinement.discovered.len() as u64);
+        let tracked_set: BTreeSet<InstrId> = ast.tracked_portion().iter().copied().collect();
+        gist_obs::counter!("server.ast_demotions")
+            .add(refinement.removable(&tracked_set).len() as u64);
 
         DiagnosisResult {
             sketch,

@@ -1,0 +1,49 @@
+//! Monotonic atomic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// Increments use [`Ordering::Relaxed`]: each addition is atomic and never
+/// lost, but no ordering is implied relative to other metrics. Addition is
+/// commutative, so totals are independent of thread interleaving — the
+/// property the determinism contract relies on. With the `metrics-off`
+/// feature the mutating methods compile to empty bodies.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cell: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero, usable in `static` items.
+    pub const fn new() -> Self {
+        Counter {
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "metrics-off"))]
+        self.cell.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "metrics-off")]
+        let _ = n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    #[cfg_attr(feature = "metrics-off", allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}

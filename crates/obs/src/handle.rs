@@ -1,0 +1,85 @@
+//! Per-call-site cached handles, so hot paths resolve a metric name against
+//! the registry exactly once.
+
+use std::sync::OnceLock;
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+
+/// A lazily resolved handle to a named [`Counter`], usable in `static`
+/// items. The registry lookup happens on first [`CounterHandle::get`] and is
+/// cached; subsequent calls are a single atomic load.
+#[derive(Debug)]
+pub struct CounterHandle {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl CounterHandle {
+    /// Creates an unresolved handle.
+    pub const fn new(name: &'static str) -> Self {
+        CounterHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Resolves (once) and returns the underlying counter.
+    #[inline]
+    pub fn get(&self) -> &'static Counter {
+        self.slot
+            .get_or_init(|| crate::registry::counter_by_name(self.name))
+    }
+}
+
+/// A lazily resolved handle to a named [`Histogram`]; see [`CounterHandle`].
+#[derive(Debug)]
+pub struct HistogramHandle {
+    name: &'static str,
+    slot: OnceLock<&'static Histogram>,
+}
+
+impl HistogramHandle {
+    /// Creates an unresolved handle.
+    pub const fn new(name: &'static str) -> Self {
+        HistogramHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Resolves (once) and returns the underlying histogram.
+    #[inline]
+    pub fn get(&self) -> &'static Histogram {
+        self.slot
+            .get_or_init(|| crate::registry::histogram_by_name(self.name))
+    }
+}
+
+/// Returns the process-wide [`Counter`] named `$name`, caching the registry
+/// lookup in a per-call-site `static`.
+///
+/// ```
+/// gist_obs::counter!("vm.runs").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: $crate::CounterHandle = $crate::CounterHandle::new($name);
+        HANDLE.get()
+    }};
+}
+
+/// Returns the process-wide [`Histogram`] named `$name`, caching the
+/// registry lookup in a per-call-site `static`.
+///
+/// ```
+/// gist_obs::histogram!("tracking.patch_bytes").record(128);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: $crate::HistogramHandle = $crate::HistogramHandle::new($name);
+        HANDLE.get()
+    }};
+}

@@ -1,0 +1,181 @@
+//! `gist-obs` — zero-dependency observability for the Gist pipeline.
+//!
+//! The paper's pitch is *low-overhead, always-on* in-production diagnosis
+//! (§5.3 measures per-stage runtime cost), so the reproduction needs a way to
+//! measure itself that is cheap enough to leave enabled. This crate provides
+//! exactly three primitives, all process-global and lock-free on the hot
+//! path:
+//!
+//! * [`Counter`] — a monotonic relaxed [`std::sync::atomic::AtomicU64`].
+//! * [`Histogram`] — log₂-bucketed sample distribution (65 buckets cover the
+//!   full `u64` range) with count / sum / max.
+//! * span timers — [`span`] returns an RAII guard; nested guards on one
+//!   thread form a `/`-joined path (`"diagnose/collect/pt.decode"`), and the
+//!   elapsed wall-clock time is recorded against that path on drop.
+//!
+//! # Naming scheme
+//!
+//! Metric names are `<layer>.<noun>` in `snake_case` — `vm.instr_retired`,
+//! `pt.buffer_overflows`, `watch.traps`, `tracking.patch_bytes`,
+//! `server.iterations`, `fleet.runs_dispatched`. Span names reuse the layer
+//! prefix (`"server.collect"`); the recorded timer key is the full stack
+//! path, so one leaf can appear under several parents.
+//!
+//! # Determinism contract
+//!
+//! Counters and histograms observe only *logical* events (instructions
+//! retired, packets encoded, watchpoints hit), so under fixed seeds their
+//! [`MetricsSnapshot`] content — and the byte output of
+//! [`MetricsSnapshot::deterministic_json`] — is identical run-to-run and
+//! independent of thread interleaving. Timers measure wall-clock and are
+//! explicitly excluded; they appear only in [`MetricsSnapshot::to_json`].
+//! Anything whose value depends on execution *shape* rather than logical
+//! work (e.g. fleet batch occupancy) must be recorded as a histogram, never
+//! a counter, so counter snapshots stay comparable across batch sizes.
+//!
+//! # `metrics-off`
+//!
+//! With the `metrics-off` cargo feature every recording operation compiles
+//! to an empty body, [`span`] never reads the clock, and [`snapshot`]
+//! returns an empty snapshot. This is the baseline against which the
+//! enabled-build overhead is bounded (<5% fleet throughput).
+
+mod counter;
+mod handle;
+mod histogram;
+pub mod json;
+mod registry;
+mod snapshot;
+mod timer;
+
+pub use counter::Counter;
+pub use handle::{CounterHandle, HistogramHandle};
+pub use histogram::{bucket_floor, bucket_of, Histogram, NUM_BUCKETS};
+pub use registry::{counter_by_name, histogram_by_name};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, TimerSnapshot};
+pub use timer::{span, SpanGuard, Timer};
+
+/// Returns a point-in-time copy of every registered metric, keyed by name
+/// with [`std::collections::BTreeMap`] (sorted, deterministic) ordering.
+pub fn snapshot() -> MetricsSnapshot {
+    registry::snapshot_all()
+}
+
+/// Resets every registered metric to zero.
+///
+/// Registrations themselves are kept (metric storage is leaked by design),
+/// so previously resolved handles stay valid. Benchmarks call this before a
+/// measured section; tests that compare snapshots must run in their own
+/// process (one `#[test]` per integration binary) because the registry is
+/// process-global.
+pub fn reset() {
+    registry::reset_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_resolves_to_same_counter() {
+        let a = counter!("obs_test.handle_identity");
+        let b = counter_by_name("obs_test.handle_identity");
+        a.inc();
+        b.add(2);
+        if cfg!(feature = "metrics-off") {
+            assert_eq!(a.get(), 0);
+        } else {
+            assert_eq!(a.get(), 3);
+            assert!(std::ptr::eq(a, b));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let h = histogram!("obs_test.histogram_basic");
+        for v in [0, 1, 1, 7, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        if cfg!(feature = "metrics-off") {
+            assert_eq!(snap.count, 0);
+            return;
+        }
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1033);
+        assert_eq!(snap.max, 1024);
+        // value 0 -> bucket floor 0; 1,1 -> floor 1; 7 -> floor 4; 1024 -> floor 1024
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 2), (4, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn bucket_math_covers_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(2), 2);
+        assert_eq!(bucket_floor(3), 4);
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v);
+            if b + 1 < NUM_BUCKETS {
+                assert!(v < bucket_floor(b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn span_paths_nest_per_thread() {
+        {
+            let _outer = span("obs_test.outer");
+            let _inner = span("obs_test.inner");
+        }
+        let snap = snapshot();
+        if cfg!(feature = "metrics-off") {
+            assert!(snap.timers.is_empty());
+            return;
+        }
+        assert!(snap.timers.contains_key("obs_test.outer"));
+        assert!(snap.timers.contains_key("obs_test.outer/obs_test.inner"));
+    }
+
+    #[test]
+    fn snapshot_orders_names_and_renders_deterministically() {
+        counter_by_name("obs_test.z_last").add(4);
+        counter_by_name("obs_test.a_first").add(9);
+        let snap = snapshot();
+        if cfg!(feature = "metrics-off") {
+            assert_eq!(snap.deterministic_json(), snap.deterministic_json());
+            return;
+        }
+        let names: Vec<&String> = snap.counters.keys().collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let json = snap.deterministic_json();
+        assert!(json.find("obs_test.a_first").unwrap() < json.find("obs_test.z_last").unwrap());
+        assert_eq!(json, snapshot().deterministic_json());
+    }
+
+    #[test]
+    fn json_escapes_and_formats() {
+        use json::Json;
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            ("n".into(), Json::U64(u64::MAX)),
+            ("f".into(), Json::F64(1.5)),
+            ("b".into(), Json::Bool(true)),
+            ("arr".into(), Json::Arr(vec![Json::Null, Json::U64(0)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"n\":18446744073709551615,\"f\":1.500,\"b\":true,\"arr\":[null,0]}"
+        );
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+    }
+}

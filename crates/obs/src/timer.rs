@@ -1,0 +1,115 @@
+//! Wall-clock span timers with RAII guards and hierarchical naming.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(not(feature = "metrics-off"))]
+use std::cell::RefCell;
+#[cfg(not(feature = "metrics-off"))]
+use std::time::Instant;
+
+use crate::snapshot::TimerSnapshot;
+
+/// Accumulated wall-clock time for one span path.
+///
+/// Timers measure real time and are therefore *excluded* from the
+/// determinism contract: they appear in [`crate::MetricsSnapshot::to_json`]
+/// but never in [`crate::MetricsSnapshot::deterministic_json`].
+#[derive(Debug, Default)]
+pub struct Timer {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Timer {
+    /// Creates an empty timer.
+    pub const fn new() -> Self {
+        Timer {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copies the current contents out.
+    pub fn snapshot(&self) -> TimerSnapshot {
+        TimerSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    #[cfg_attr(feature = "metrics-off", allow(dead_code))]
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span`]; records the elapsed time against the
+/// span's stack path when dropped.
+#[must_use = "a span records its duration when the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(not(feature = "metrics-off"))]
+    start: Instant,
+    #[cfg(not(feature = "metrics-off"))]
+    path: String,
+}
+
+/// Opens a span named `name`, nested under any spans already open on this
+/// thread.
+///
+/// The timer key is the `/`-joined stack of open span names, so
+/// `span("diagnose")` followed by `span("collect")` records under
+/// `"diagnose"` and `"diagnose/collect"`. Guards must be dropped in LIFO
+/// order (the natural scoping order) for paths to stay well-formed. Work
+/// handed to another thread starts from an empty stack there.
+///
+/// With `metrics-off` this never reads the clock and records nothing.
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let path = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        SpanGuard {
+            start: Instant::now(),
+            path,
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = name;
+        SpanGuard {}
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "metrics-off"))]
+        {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            crate::registry::timer_by_path(&self.path).record_ns(ns);
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}

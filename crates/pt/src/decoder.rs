@@ -104,6 +104,7 @@ fn decode_core(
     walkers: &mut HashMap<u32, Walker>,
 ) -> Result<(), DecodeError> {
     let packets = Packet::decode_all(bytes).map_err(DecodeError::BadBytes)?;
+    gist_obs::counter!("pt.packets_decoded").add(packets.len() as u64);
     let mut current: Option<u32> = None;
     for p in packets {
         match p {
@@ -187,6 +188,10 @@ fn decode_core(
 
 /// Decodes all cores' streams of one run.
 pub fn decode(program: &Program, core_bytes: &[Vec<u8>]) -> Result<DecodedTrace, DecodeError> {
+    let _span = gist_obs::span("pt.decode");
+    gist_obs::counter!("pt.decodes").inc();
+    gist_obs::counter!("pt.bytes_decoded")
+        .add(core_bytes.iter().map(|b| b.len() as u64).sum::<u64>());
     let mut out = DecodedTrace::default();
     for bytes in core_bytes {
         let mut seq = Vec::new();
@@ -195,6 +200,8 @@ pub fn decode(program: &Program, core_bytes: &[Vec<u8>]) -> Result<DecodedTrace,
         decode_core(program, bytes, &mut out, &mut seq, &mut walkers)?;
         out.per_core.push(seq);
     }
+    gist_obs::counter!("pt.stmts_decoded")
+        .add(out.per_core.iter().map(|c| c.len() as u64).sum::<u64>());
     Ok(out)
 }
 

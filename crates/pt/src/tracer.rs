@@ -71,6 +71,8 @@ pub struct PtTracer<'p> {
     traced_branches: u64,
     /// Total statements retired while tracing was enabled.
     traced_retired: u64,
+    /// Guards the one-shot metrics flush in [`PtTracer::finish`].
+    metrics_flushed: bool,
 }
 
 impl<'p> PtTracer<'p> {
@@ -88,6 +90,7 @@ impl<'p> PtTracer<'p> {
             windows: HashMap::new(),
             traced_branches: 0,
             traced_retired: 0,
+            metrics_flushed: false,
         }
     }
 
@@ -135,6 +138,20 @@ impl<'p> PtTracer<'p> {
             .collect();
         for tid in tids {
             self.close_window(tid);
+        }
+        // Metrics are flushed from buffer aggregates once per run, not per
+        // packet, so the encode path carries no atomic traffic.
+        if !self.metrics_flushed {
+            self.metrics_flushed = true;
+            gist_obs::counter!("pt.traced_retired").add(self.traced_retired);
+            gist_obs::counter!("pt.bytes_encoded").add(self.total_bytes() as u64);
+            for b in &self.buffers {
+                gist_obs::counter!("pt.packets_encoded").add(b.offered() - b.dropped());
+                gist_obs::counter!("pt.packets_dropped").add(b.dropped());
+                if b.overflowed() {
+                    gist_obs::counter!("pt.buffer_overflows").inc();
+                }
+            }
         }
     }
 

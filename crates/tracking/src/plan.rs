@@ -134,6 +134,8 @@ impl<'p> Planner<'p> {
         watch_group: usize,
         use_sdom: bool,
     ) -> InstrumentationPatch {
+        let _span = gist_obs::span("tracking.plan");
+        gist_obs::counter!("tracking.plans").inc();
         let mut patch = InstrumentationPatch {
             tracked: tracked.iter().copied().collect(),
             ..InstrumentationPatch::default()

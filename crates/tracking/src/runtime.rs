@@ -128,6 +128,10 @@ impl<'p> TrackerRuntime<'p> {
             .filter(|(_, s, _)| self.patch.tracked.contains(s))
             .map(|&(t, s, k)| (t, s, k))
             .collect();
+        gist_obs::counter!("tracking.runs_traced").inc();
+        gist_obs::counter!("tracking.discovered_stmts").add(discovered.len() as u64);
+        gist_obs::counter!("tracking.missed_arms").add(self.missed_arms);
+        gist_obs::histogram!("tracking.hits_per_run").record(hits.len() as u64);
         RunTrace {
             decoded,
             hits,

@@ -67,6 +67,22 @@ impl FailureKind {
             FailureKind::UnlockNotHeld { .. } => "unlock of unheld mutex",
         }
     }
+
+    /// The per-kind metrics counter name (`vm.failures.*` namespace).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            FailureKind::SegFault { .. } => "vm.failures.segfault",
+            FailureKind::UseAfterFree { .. } => "vm.failures.use_after_free",
+            FailureKind::DoubleFree { .. } => "vm.failures.double_free",
+            FailureKind::InvalidFree { .. } => "vm.failures.invalid_free",
+            FailureKind::AssertFail { .. } => "vm.failures.assert_fail",
+            FailureKind::DivByZero => "vm.failures.div_by_zero",
+            FailureKind::Deadlock => "vm.failures.deadlock",
+            FailureKind::Hang => "vm.failures.hang",
+            FailureKind::UnreachableExecuted => "vm.failures.unreachable",
+            FailureKind::UnlockNotHeld { .. } => "vm.failures.unlock_not_held",
+        }
+    }
 }
 
 /// One frame of a failure stack trace.

@@ -91,6 +91,9 @@ pub struct RunResult {
     /// Scheduler decisions taken (≥ steps: address-computation steps and
     /// blocked lock/join retries also consume a pick).
     pub sched_picks: u64,
+    /// Involuntary context switches: picks where the previously running
+    /// thread was still runnable but a different thread got the core.
+    pub preemptions: u64,
 }
 
 /// The MiniC virtual machine.
@@ -107,6 +110,8 @@ pub struct Vm<'p> {
     seq: u64,
     steps: u64,
     sched_picks: u64,
+    preemptions: u64,
+    last_picked: Option<u32>,
     retired_per_core: Vec<u64>,
     branches: u64,
     indirect_transfers: u64,
@@ -154,6 +159,8 @@ impl<'p> Vm<'p> {
             seq: 0,
             steps: 0,
             sched_picks: 0,
+            preemptions: 0,
+            last_picked: None,
             retired_per_core: vec![0; cores as usize],
             branches: 0,
             indirect_transfers: 0,
@@ -256,6 +263,12 @@ impl<'p> Vm<'p> {
             let tid = scheduler.pick(&runnable, self.steps);
             debug_assert!(runnable.contains(&tid));
             self.sched_picks += 1;
+            if let Some(prev) = self.last_picked {
+                if prev != tid && runnable.contains(&prev) {
+                    self.preemptions += 1;
+                }
+            }
+            self.last_picked = Some(tid);
             if let Some(outcome) = self.step_thread(tid, observers) {
                 return self.result(outcome);
             }
@@ -263,6 +276,21 @@ impl<'p> Vm<'p> {
     }
 
     fn result(&self, outcome: RunOutcome) -> RunResult {
+        // Metrics are flushed in bulk here, once per run, so the per-step
+        // hot path carries no atomic traffic.
+        gist_obs::counter!("vm.runs").inc();
+        gist_obs::counter!("vm.instr_retired").add(self.steps);
+        gist_obs::counter!("vm.sched_picks").add(self.sched_picks);
+        gist_obs::counter!("vm.preemptions").add(self.preemptions);
+        gist_obs::counter!("vm.branches").add(self.branches);
+        gist_obs::counter!("vm.mem_accesses").add(self.mem_accesses);
+        gist_obs::counter!("vm.threads_spawned").add(self.threads.len() as u64);
+        match &outcome {
+            RunOutcome::Failed(report) => {
+                gist_obs::counter_by_name(report.kind.metric_name()).inc()
+            }
+            RunOutcome::Finished => gist_obs::counter!("vm.runs_finished").inc(),
+        }
         RunResult {
             outcome,
             output: self.output.clone(),
@@ -273,6 +301,7 @@ impl<'p> Vm<'p> {
             mem_accesses: self.mem_accesses,
             threads: self.threads.len() as u32,
             sched_picks: self.sched_picks,
+            preemptions: self.preemptions,
         }
     }
 

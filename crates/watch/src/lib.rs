@@ -153,17 +153,20 @@ impl WatchUnit {
         if self.is_watched(addr) {
             return Err(WatchError::AlreadyWatched);
         }
-        let slot = self
-            .slots
-            .iter()
-            .position(Option::is_none)
-            .ok_or(WatchError::NoFreeSlot)?;
+        let slot = match self.slots.iter().position(Option::is_none) {
+            Some(slot) => slot,
+            None => {
+                gist_obs::counter!("watch.no_free_slot").inc();
+                return Err(WatchError::NoFreeSlot);
+            }
+        };
         self.slots[slot] = Some(Watchpoint {
             addr,
             len,
             condition,
         });
         self.ptrace_ops += 1;
+        gist_obs::counter!("watch.armed").inc();
         Ok(slot)
     }
 
@@ -266,6 +269,7 @@ impl WatchUnit {
             if let Some(w) = w {
                 if w.triggers(addr, kind) {
                     self.traps += 1;
+                    gist_obs::counter!("watch.traps").inc();
                     self.hits.push(WatchHit {
                         seq,
                         tid,

@@ -1,0 +1,26 @@
+//! The bench report's determinism contract: the `deterministic` section
+//! (per-bug rows + counter/histogram snapshot) must be byte-identical
+//! across same-seed runs. Timers are wall-clock and live in the separate
+//! `timing` section, which is deliberately not compared.
+//!
+//! One `#[test]` in its own integration binary: the bench resets and reads
+//! the process-global metrics registry, so it cannot share a process with
+//! other metric-producing tests.
+
+use gist_bench::bench_report;
+
+#[test]
+fn deterministic_section_is_byte_identical_across_runs() {
+    // A cheap subset (one single- and one multi-iteration diagnosis) keeps
+    // the double full-pipeline run affordable in debug builds; `repro bench`
+    // exercises the full bugbase.
+    let subset = ["pbzip2-1", "curl-965", "apache-45605"];
+    let (first, evals) = bench_report::run(Some(&subset));
+    assert_eq!(evals.len(), subset.len(), "all subset bugs diagnosed");
+    let (second, _) = bench_report::run(Some(&subset));
+    assert_eq!(
+        first.deterministic_json(),
+        second.deterministic_json(),
+        "counters and histograms must be identical under fixed seeds"
+    );
+}

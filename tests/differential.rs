@@ -1,0 +1,81 @@
+//! Differential test: metrics counters are batch-size independent.
+//!
+//! The gist-obs determinism contract says counters observe only *logical*
+//! events, so running the same work through a sequential fleet (batch=1)
+//! and a parallel one (batch=8) must produce byte-identical counter
+//! snapshots — any divergence means some counter leaked execution shape.
+//!
+//! One `#[test]` in its own integration binary: the comparison reads the
+//! process-global metrics registry, which other tests in the same process
+//! would pollute.
+
+use gist_bugbase::all_bugs;
+use gist_coop::{FleetConfig, SimulatedFleet};
+use gist_core::Fleet;
+use gist_slicing::StaticSlicer;
+use gist_tracking::{InstrumentationPatch, Planner};
+
+/// Runs per bug per arm; a multiple of the batch size so batch=8 executes
+/// exactly the same runs as batch=1 (no over-prefetch at the tail).
+const RUNS: usize = 16;
+const BATCH: usize = 8;
+
+fn planned_patch(bug: &gist_bugbase::BugSpec) -> InstrumentationPatch {
+    let (_, report) = bug.find_failure(2_000).expect("bug manifests");
+    let slicer = StaticSlicer::new(&bug.program);
+    let slice = slicer.compute(report.failing_stmt);
+    let planner = Planner::new(&bug.program, slicer.ticfg());
+    planner.plan(slice.prefix(8), 0)
+}
+
+/// Drives every bug through `RUNS` fleet runs at the given batch size and
+/// returns the rendered counter section of the metrics snapshot.
+fn counters_with(
+    batches: &[(gist_bugbase::BugSpec, InstrumentationPatch)],
+    batch: usize,
+) -> String {
+    gist_obs::reset();
+    for (bug, patch) in batches {
+        let mut fleet = SimulatedFleet::for_bug(
+            bug,
+            FleetConfig {
+                endpoints: 8,
+                num_cores: 4,
+                batch,
+            },
+        );
+        for _ in 0..RUNS {
+            let _ = Fleet::next_run(&mut fleet, patch);
+        }
+    }
+    let snap = gist_obs::snapshot();
+    format!("{:?}", snap.counters)
+}
+
+#[test]
+fn counter_snapshots_agree_across_batch_sizes() {
+    if cfg!(feature = "metrics-off") {
+        // Nothing to compare: every counter is compiled out.
+        return;
+    }
+    // Plan patches up front so their (counter-producing) failure searches
+    // happen outside the measured window, identically for both arms.
+    let work: Vec<_> = all_bugs()
+        .into_iter()
+        .map(|bug| {
+            let patch = planned_patch(&bug);
+            (bug, patch)
+        })
+        .collect();
+    let sequential = counters_with(&work, 1);
+    let batched = counters_with(&work, BATCH);
+    assert!(
+        !sequential.contains("fleet.runs_dispatched\": 0"),
+        "sanity: runs were dispatched and counted"
+    );
+    assert_eq!(
+        sequential, batched,
+        "counters must observe logical events only; a counter that differs \
+         across batch sizes is recording execution shape (use a histogram)"
+    );
+}

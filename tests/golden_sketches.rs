@@ -1,0 +1,81 @@
+//! Golden snapshot tests for rendered failure sketches.
+//!
+//! Every bugbase bug's final sketch (the paper's Figs. 1, 7, 8 artifact) is
+//! pinned byte-for-byte under `tests/golden/<bug>.sketch`. A rendering or
+//! pipeline change that alters any sketch fails here with a line diff.
+//!
+//! To accept intentional changes, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p gist-bench --test golden_sketches
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gist_bench::experiments::sketch_for;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// A readable line diff: every differing line as `-expected` / `+actual`.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                let _ = writeln!(out, "  line {:>3} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(out, "  line {:>3} + {a}", i + 1);
+            }
+        }
+    }
+    out
+}
+
+fn check_bug(name: &str, failures: &mut Vec<String>) {
+    let rendered = sketch_for(name).unwrap_or_else(|| panic!("unknown bug {name}"));
+    let path = golden_dir().join(format!("{name}.sketch"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!(
+                "{name}: no golden snapshot at {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            ));
+            return;
+        }
+    };
+    if golden != rendered {
+        failures.push(format!(
+            "{name}: sketch differs from {} (UPDATE_GOLDEN=1 to accept):\n{}",
+            path.display(),
+            line_diff(&golden, &rendered)
+        ));
+    }
+}
+
+#[test]
+fn sketches_match_golden_snapshots() {
+    let mut failures = Vec::new();
+    for bug in gist_bugbase::all_bugs() {
+        check_bug(bug.name, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "{} sketch(es) changed:\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -4,9 +4,11 @@
 //! shared memory), fully tracing a run and decoding the packet streams
 //! must reproduce each thread's retired-statement sequence exactly.
 
+use bytes::BytesMut;
 use gist_ir::builder::ProgramBuilder;
-use gist_ir::{Callee, CmpKind, Program};
-use gist_pt::{decoder, PtConfig, PtDriver, PtTracer};
+use gist_ir::{Callee, CmpKind, InstrId, Program};
+use gist_pt::packet::TNT_CAPACITY;
+use gist_pt::{decoder, Packet, PtConfig, PtDriver, PtTracer};
 use gist_vm::event::EventLog;
 use gist_vm::{Event, SchedulerKind, Vm, VmConfig};
 use proptest::prelude::*;
@@ -159,5 +161,111 @@ proptest! {
 fn pt_roundtrips_known_seeds() {
     for s in 0..30 {
         check_roundtrip(s, s.wrapping_mul(7));
+    }
+}
+
+/// Strategy producing any single packet, including the markers (PSB, OVF)
+/// a real stream interleaves with payload packets.
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let ip = || (0u32..100_000).prop_map(InstrId);
+    prop_oneof![
+        Just(Packet::Psb),
+        (0u32..64).prop_map(|tid| Packet::Pip { tid }),
+        ip().prop_map(|ip| Packet::Pge { ip }),
+        ip().prop_map(|ip| Packet::Pgd { ip }),
+        proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 1..TNT_CAPACITY + 1)
+            .prop_map(|bits| Packet::Tnt { bits }),
+        ip().prop_map(|ip| Packet::Tip { ip }),
+        ip().prop_map(|ip| Packet::Fup { ip }),
+        Just(Packet::Ovf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte-level property: ANY packet sequence — arbitrary ordering,
+    /// PSB resync points and OVF markers anywhere in the stream —
+    /// encodes to exactly the modeled sizes and decodes back verbatim.
+    #[test]
+    fn packet_streams_roundtrip(packets in proptest::collection::vec(arb_packet(), 0..200)) {
+        let mut buf = BytesMut::new();
+        let mut modeled = 0usize;
+        for p in &packets {
+            p.encode(&mut buf);
+            modeled += p.encoded_len();
+        }
+        prop_assert_eq!(buf.len(), modeled, "encoded_len must match encoding");
+        let decoded = Packet::decode_all(&buf);
+        prop_assert_eq!(decoded.as_ref(), Ok(&packets));
+    }
+}
+
+/// OVF semantics end to end: with a buffer far too small for the trace,
+/// the tracer stops on full with a single OVF marker, and the decoded
+/// per-thread statement sequences are exact prefixes of the true ones.
+#[test]
+fn overflowed_trace_decodes_to_prefixes() {
+    for seed in 0..10u64 {
+        let program = random_program(seed);
+        let cfg = VmConfig {
+            scheduler: SchedulerKind::Random {
+                seed: seed.wrapping_mul(13).wrapping_add(1),
+                preempt: 0.5,
+            },
+            max_steps: 50_000,
+            ..VmConfig::default()
+        };
+        let mut tracer = PtTracer::new(
+            &program,
+            PtDriver::always_on(),
+            PtConfig {
+                num_cores: 1,
+                buffer_capacity: 96,
+            },
+        );
+        let mut truth = EventLog::default();
+        let mut vm = Vm::new(&program, cfg);
+        vm.run(&mut [&mut truth, &mut tracer]);
+        tracer.finish();
+        let traces = tracer.take_traces();
+        let ovf_count = traces
+            .iter()
+            .flat_map(|t| Packet::decode_all(t).expect("stream decodes"))
+            .filter(|p| matches!(p, Packet::Ovf))
+            .count();
+        assert!(ovf_count <= 1, "seed {seed}: stop-on-full emits one OVF");
+        let decoded = decoder::decode(&program, &traces).expect("decodes");
+        let mut tids: Vec<u32> = truth
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Retired { tid, .. } => Some(*tid),
+                _ => None,
+            })
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let want: Vec<_> = truth
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Retired { tid: t, iid, .. } if *t == tid => Some(*iid),
+                    _ => None,
+                })
+                .collect();
+            let got = decoded.thread_stmts(tid);
+            assert!(
+                got.len() <= want.len() && got == want[..got.len()],
+                "seed {seed}, tid {tid}: decoded sequence must be a prefix \
+                 of the true sequence (got {} stmts, want {})",
+                got.len(),
+                want.len()
+            );
+        }
+        if decoded.overflowed {
+            assert_eq!(ovf_count, 1, "seed {seed}: decoder saw the OVF marker");
+        }
     }
 }
