@@ -8,8 +8,11 @@
 //!   snapshot. Under fixed seeds this section is **byte-identical** across
 //!   runs (the gist-obs determinism contract), so CI can diff it against a
 //!   committed baseline.
-//! * `timing` — wall-clock per bug, span timers, and fleet throughput at
-//!   batch=1 vs batch=8. Real time; never compared byte-for-byte.
+//! * `throughput` — execution rates: instrs/sec, runs/sec, and batch
+//!   scaling at batch=1/2/4/8/16. Wall-clock derived; never compared
+//!   byte-for-byte.
+//! * `timing` — wall-clock per bug and span timers. Real time; never
+//!   compared byte-for-byte.
 
 use std::time::Instant;
 
@@ -20,19 +23,23 @@ use gist_obs::json::Json;
 use gist_slicing::StaticSlicer;
 use gist_tracking::{InstrumentationPatch, Planner};
 
-/// Runs per batch arm of the throughput measurement. A multiple of the
-/// batch size, so batch=8 executes exactly as many runs as batch=1.
+/// Runs per batch arm of the throughput measurement. A multiple of every
+/// batch size in [`THROUGHPUT_BATCHES`], so each arm executes exactly the
+/// same number of runs.
 pub const THROUGHPUT_RUNS: u64 = 512;
 
-/// The parallel batch size measured against batch=1.
-pub const THROUGHPUT_BATCH: usize = 8;
+/// The batch-scaling arms of the throughput measurement.
+pub const THROUGHPUT_BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// One bench run's output, split along the determinism contract.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
     /// Per-bug rows + metrics snapshot; byte-identical across same-seed runs.
     pub deterministic: Json,
-    /// Wall-clock timings and throughput; informational only.
+    /// Execution-rate measurements (instrs/sec, runs/sec, batch scaling).
+    /// Wall-clock derived, so excluded from the determinism contract.
+    pub throughput: Json,
+    /// Wall-clock timings; informational only.
     pub timing: Json,
 }
 
@@ -42,6 +49,7 @@ impl BenchReport {
         Json::Obj(vec![
             ("schema".into(), Json::Str("gist-bench/v1".into())),
             ("deterministic".into(), self.deterministic.clone()),
+            ("throughput".into(), self.throughput.clone()),
             ("timing".into(), self.timing.clone()),
         ])
     }
@@ -93,11 +101,25 @@ fn throughput_patch(bug: &BugSpec) -> InstrumentationPatch {
     planner.plan(&tracked, 0)
 }
 
-/// Measures fleet throughput (runs/sec) over `runs` tracked runs of
-/// pbzip2-1 for each batch size. Returns `(batch, runs_per_sec)` pairs.
-pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<(usize, f64)> {
+/// One batch arm of the throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputArm {
+    /// Parallel batch size of this arm.
+    pub batch: usize,
+    /// Tracked fleet runs per second.
+    pub runs_per_sec: f64,
+    /// Retired VM instructions per second (0 under `metrics-off`, which
+    /// compiles the `vm.instr_retired` counter away).
+    pub instrs_per_sec: f64,
+}
+
+/// Measures fleet throughput over `runs` tracked runs of pbzip2-1 for each
+/// batch size: runs/sec from wall-clock, instrs/sec from the
+/// `vm.instr_retired` counter delta over the same interval.
+pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<ThroughputArm> {
     let bug = bug_by_name("pbzip2-1").expect("bugbase has pbzip2-1");
     let patch = throughput_patch(&bug);
+    let retired = gist_obs::counter!("vm.instr_retired");
     batches
         .iter()
         .map(|&batch| {
@@ -109,14 +131,68 @@ pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<(usize, f64)> {
                     batch,
                 },
             );
+            let instrs0 = retired.get();
             let t0 = Instant::now();
             for _ in 0..runs {
                 let _ = Fleet::next_run(&mut fleet, &patch);
             }
             let secs = t0.elapsed().as_secs_f64().max(1e-9);
-            (batch, runs as f64 / secs)
+            ThroughputArm {
+                batch,
+                runs_per_sec: runs as f64 / secs,
+                instrs_per_sec: (retired.get() - instrs0) as f64 / secs,
+            }
         })
         .collect()
+}
+
+/// Renders the throughput arms as the report's `throughput` section:
+/// headline `runs_per_sec` / `instrs_per_sec` (the best arm) plus a
+/// `batch_scaling` table keyed by batch size with per-arm rates and
+/// speedup relative to batch=1.
+fn throughput_value(arms: &[ThroughputArm]) -> Json {
+    let batch1 = arms
+        .iter()
+        .find(|a| a.batch == 1)
+        .map_or(0.0, |a| a.runs_per_sec);
+    let best = arms
+        .iter()
+        .fold(None::<&ThroughputArm>, |best, a| match best {
+            Some(b) if b.runs_per_sec >= a.runs_per_sec => Some(b),
+            _ => Some(a),
+        });
+    let scaling = arms
+        .iter()
+        .map(|a| {
+            (
+                a.batch.to_string(),
+                Json::Obj(vec![
+                    ("runs_per_sec".into(), Json::F64(a.runs_per_sec)),
+                    ("instrs_per_sec".into(), Json::F64(a.instrs_per_sec)),
+                    (
+                        "speedup_vs_batch1".into(),
+                        Json::F64(if batch1 > 0.0 {
+                            a.runs_per_sec / batch1
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("runs_per_arm".into(), Json::U64(THROUGHPUT_RUNS)),
+        (
+            "runs_per_sec".into(),
+            Json::F64(best.map_or(0.0, |a| a.runs_per_sec)),
+        ),
+        (
+            "instrs_per_sec".into(),
+            Json::F64(best.map_or(0.0, |a| a.instrs_per_sec)),
+        ),
+        ("batch_scaling".into(), Json::Obj(scaling)),
+    ])
 }
 
 /// Runs the bench: every bugbase bug through `diagnose_bug` (or the named
@@ -151,9 +227,8 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
         ("metrics".into(), snapshot.deterministic_value()),
     ]);
 
-    let throughput = fleet_throughput(THROUGHPUT_RUNS, &[1, THROUGHPUT_BATCH]);
-    let batch1 = throughput.first().map_or(0.0, |&(_, r)| r);
-    let batchn = throughput.last().map_or(0.0, |&(_, r)| r);
+    let arms = fleet_throughput(THROUGHPUT_RUNS, &THROUGHPUT_BATCHES);
+    let throughput = throughput_value(&arms);
     let timing = Json::Obj(vec![
         (
             "total_ms".into(),
@@ -161,21 +236,6 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
         ),
         ("per_bug_ms".into(), Json::Obj(wall)),
         ("spans".into(), snapshot.timers_value()),
-        (
-            "fleet_throughput".into(),
-            Json::Obj(vec![
-                ("runs_per_arm".into(), Json::U64(THROUGHPUT_RUNS)),
-                ("batch1_runs_per_sec".into(), Json::F64(batch1)),
-                (
-                    format!("batch{THROUGHPUT_BATCH}_runs_per_sec"),
-                    Json::F64(batchn),
-                ),
-                (
-                    "parallel_speedup".into(),
-                    Json::F64(if batch1 > 0.0 { batchn / batch1 } else { 0.0 }),
-                ),
-            ]),
-        ),
         (
             "metrics_feature".into(),
             Json::Str(
@@ -192,6 +252,7 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
     (
         BenchReport {
             deterministic,
+            throughput,
             timing,
         },
         evals,

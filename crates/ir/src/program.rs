@@ -117,10 +117,14 @@ pub struct Program {
     pub globals: Vec<Global>,
     /// Source map (file names + optional line text).
     pub source_map: SourceMap,
-    /// Statement index: id -> position. Built by [`Program::finalize`].
-    stmt_index: HashMap<InstrId, StmtPos>,
+    /// Statement index: position of statement `i` at index `i`. Statement
+    /// ids are dense (`0..stmt_count`) after [`Program::finalize`], so a
+    /// flat vector replaces a hash map on the decode/execute hot path.
+    stmt_index: Vec<StmtPos>,
     /// Total number of statements (instrs + terminators).
     stmt_count: u32,
+    /// Structural fingerprint, recomputed by [`Program::finalize`].
+    fingerprint: u64,
 }
 
 /// Errors found by [`Program::validate`].
@@ -213,8 +217,9 @@ impl Program {
             entry: FuncId(0),
             globals: Vec::new(),
             source_map: SourceMap::new(),
-            stmt_index: HashMap::new(),
+            stmt_index: Vec::new(),
             stmt_count: 0,
+            fingerprint: 0,
         }
     }
 
@@ -228,14 +233,11 @@ impl Program {
             for b in &mut f.blocks {
                 for (i, instr) in b.instrs.iter_mut().enumerate() {
                     instr.id = InstrId(next);
-                    self.stmt_index.insert(
-                        instr.id,
-                        StmtPos {
-                            func: f.id,
-                            block: b.id,
-                            index: i,
-                        },
-                    );
+                    self.stmt_index.push(StmtPos {
+                        func: f.id,
+                        block: b.id,
+                        index: i,
+                    });
                     next += 1;
                 }
                 let tid = InstrId(next);
@@ -246,17 +248,52 @@ impl Program {
                     | Terminator::Ret { id, .. }
                     | Terminator::Unreachable { id, .. } => *id = tid,
                 }
-                self.stmt_index.insert(
-                    tid,
-                    StmtPos {
-                        func: f.id,
-                        block: b.id,
-                        index: b.instrs.len(),
-                    },
-                );
+                self.stmt_index.push(StmtPos {
+                    func: f.id,
+                    block: b.id,
+                    index: b.instrs.len(),
+                });
             }
         }
         self.stmt_count = next;
+        self.fingerprint = self.compute_fingerprint();
+    }
+
+    /// A structural fingerprint of the finalized program, stable for the
+    /// process lifetime and across clones.
+    ///
+    /// Used to key the shared compile cache (`gist-vm`) and to invalidate
+    /// the cross-run PT decode cache (`gist-pt`) when a different program's
+    /// packets arrive. Covers every instruction, terminator, global, and
+    /// the entry point via their debug rendering, so any structural edit
+    /// (after re-`finalize`) changes the value with overwhelming
+    /// probability.
+    ///
+    /// Computed once by [`Program::finalize`] and returned from a stored
+    /// field here, so it is cheap enough to consult on per-run hot paths.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        use std::hash::{Hash, Hasher};
+
+        struct HashWriter<H>(H);
+        impl<H: Hasher> std::fmt::Write for HashWriter<H> {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.entry.hash(&mut h);
+        self.stmt_count.hash(&mut h);
+        let mut w = HashWriter(h);
+        let _ = write!(w, "{:?}{:?}", self.functions, self.globals);
+        w.0.finish()
     }
 
     /// Total number of statements (instructions plus terminators).
@@ -266,7 +303,7 @@ impl Program {
 
     /// Returns the position of a statement.
     pub fn stmt_pos(&self, id: InstrId) -> Option<StmtPos> {
-        self.stmt_index.get(&id).copied()
+        self.stmt_index.get(id.index()).copied()
     }
 
     /// Returns the instruction at `id`, or `None` if `id` is a terminator

@@ -11,7 +11,11 @@
 //!   full `u64` range) with count / sum / max.
 //! * span timers — [`span`] returns an RAII guard; nested guards on one
 //!   thread form a `/`-joined path (`"diagnose/collect/pt.decode"`), and the
-//!   elapsed wall-clock time is recorded against that path on drop.
+//!   elapsed wall-clock time is recorded against that path on drop. Work
+//!   dispatched to other threads parents explicitly: capture a
+//!   [`SpanHandle`] with [`current_span_handle`] before dispatch and open
+//!   worker spans with [`span_under`], so (for example) fleet worker spans
+//!   nest under `server.collect` instead of surfacing at the top level.
 //!
 //! # Naming scheme
 //!
@@ -53,7 +57,7 @@ pub use handle::{CounterHandle, HistogramHandle};
 pub use histogram::{bucket_floor, bucket_of, Histogram, NUM_BUCKETS};
 pub use registry::{counter_by_name, histogram_by_name};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, TimerSnapshot};
-pub use timer::{span, SpanGuard, Timer};
+pub use timer::{current_span_handle, span, span_under, SpanGuard, SpanHandle, Timer};
 
 /// Returns a point-in-time copy of every registered metric, keyed by name
 /// with [`std::collections::BTreeMap`] (sorted, deterministic) ordering.
@@ -142,6 +146,33 @@ mod tests {
         }
         assert!(snap.timers.contains_key("obs_test.outer"));
         assert!(snap.timers.contains_key("obs_test.outer/obs_test.inner"));
+    }
+
+    #[test]
+    fn span_under_parents_across_threads() {
+        {
+            let _outer = span("obs_test.dispatch");
+            let h = current_span_handle();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = span_under(&h, "obs_test.worker");
+                    let _leaf = span("obs_test.leaf");
+                });
+            });
+        }
+        let snap = snapshot();
+        if cfg!(feature = "metrics-off") {
+            assert!(snap.timers.is_empty());
+            return;
+        }
+        assert!(snap
+            .timers
+            .contains_key("obs_test.dispatch/obs_test.worker"));
+        assert!(snap
+            .timers
+            .contains_key("obs_test.dispatch/obs_test.worker/obs_test.leaf"));
+        // The worker span must NOT also appear as a top-level path.
+        assert!(!snap.timers.contains_key("obs_test.worker"));
     }
 
     #[test]

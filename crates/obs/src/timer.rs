@@ -57,7 +57,7 @@ impl Timer {
 
 #[cfg(not(feature = "metrics-off"))]
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 /// RAII guard returned by [`span`]; records the elapsed time against the
@@ -84,19 +84,82 @@ pub struct SpanGuard {
 pub fn span(name: &'static str) -> SpanGuard {
     #[cfg(not(feature = "metrics-off"))]
     {
-        let path = SPAN_STACK.with(|s| {
-            let mut s = s.borrow_mut();
-            s.push(name);
-            s.join("/")
-        });
-        SpanGuard {
-            start: Instant::now(),
-            path,
-        }
+        push_segment(name.to_owned())
     }
     #[cfg(feature = "metrics-off")]
     {
         let _ = name;
+        SpanGuard {}
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+fn push_segment(segment: String) -> SpanGuard {
+    let path = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(segment);
+        s.join("/")
+    });
+    SpanGuard {
+        start: Instant::now(),
+        path,
+    }
+}
+
+/// A cheap, sendable token naming an open span's full path.
+///
+/// Spans nest per *thread*: work handed to a worker thread starts from an
+/// empty span stack there, so its spans would surface at the top level of
+/// the timing report even though, logically, they run inside the span that
+/// dispatched them. Capture a handle with [`current_span_handle`] on the
+/// dispatching thread, send it (it is `Send + Sync`), and open worker
+/// spans with [`span_under`] to parent them explicitly.
+#[derive(Clone, Debug, Default)]
+pub struct SpanHandle {
+    #[cfg(not(feature = "metrics-off"))]
+    path: String,
+}
+
+/// Captures the calling thread's current span path as a [`SpanHandle`].
+///
+/// With no spans open (or under `metrics-off`) the handle is empty and
+/// [`span_under`] degrades to a plain top-level [`span`].
+pub fn current_span_handle() -> SpanHandle {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        SpanHandle {
+            path: SPAN_STACK.with(|s| s.borrow().join("/")),
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        SpanHandle {}
+    }
+}
+
+/// Opens a span named `name` nested under `parent` — a handle captured on
+/// the dispatching thread. Further plain [`span`] calls on this thread
+/// nest inside it.
+///
+/// If this thread already has spans open (the dispatch-thread case, where
+/// `parent` describes exactly those spans), the parent is redundant and
+/// the span nests under the local stack instead — so the same call site
+/// produces the same path whether the work ran inline or on a worker.
+///
+/// With `metrics-off` this never reads the clock and records nothing.
+pub fn span_under(parent: &SpanHandle, name: &'static str) -> SpanGuard {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let local_open = SPAN_STACK.with(|s| !s.borrow().is_empty());
+        if local_open || parent.path.is_empty() {
+            push_segment(name.to_owned())
+        } else {
+            push_segment(format!("{}/{}", parent.path, name))
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = (parent, name);
         SpanGuard {}
     }
 }

@@ -12,6 +12,8 @@
 //! statements that get executed during production runs").
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use gist_ir::{Callee, InstrId, Op, Program, Terminator};
 
@@ -41,7 +43,7 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// The decoded control flow of one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DecodedTrace {
     /// Per-core statement sequences `(tid, stmt)`, in core-trace order.
     /// Only *per-core* order is meaningful — Intel PT does not order
@@ -84,7 +86,7 @@ enum Need {
 }
 
 /// Per-thread walker state.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 struct Walker {
     /// Next statement to execute (None = window closed).
     pos: Option<InstrId>,
@@ -95,17 +97,17 @@ struct Walker {
     last_emitted: Option<InstrId>,
 }
 
-/// Decodes one core's byte stream.
-fn decode_core(
+/// Applies a run of packets to the decoder state, emitting statements into
+/// `core_seq` and branches into `out`. This is the core-decode inner loop,
+/// shared between the cold path and per-segment cache misses.
+fn apply_packets(
     program: &Program,
-    bytes: &[u8],
+    packets: &[Packet],
     out: &mut DecodedTrace,
     core_seq: &mut Vec<(u32, InstrId)>,
     walkers: &mut HashMap<u32, Walker>,
+    current: &mut Option<u32>,
 ) -> Result<(), DecodeError> {
-    let packets = Packet::decode_all(bytes).map_err(DecodeError::BadBytes)?;
-    gist_obs::counter!("pt.packets_decoded").add(packets.len() as u64);
-    let mut current: Option<u32> = None;
     for p in packets {
         match p {
             Packet::Psb => {}
@@ -116,20 +118,20 @@ fn decode_core(
                     w.pos = None;
                 }
             }
-            Packet::Pip { tid } => current = Some(tid),
+            Packet::Pip { tid } => *current = Some(*tid),
             Packet::Pge { ip } => {
-                let tid = current.ok_or_else(|| DecodeError::Desync {
+                let tid = (*current).ok_or_else(|| DecodeError::Desync {
                     what: "PGE before any PIP".into(),
                 })?;
                 let w = walkers.entry(tid).or_default();
-                w.pos = Some(ip);
+                w.pos = Some(*ip);
                 w.stack.clear();
             }
             Packet::Tnt { bits } => {
-                let tid = current.ok_or_else(|| DecodeError::Desync {
+                let tid = (*current).ok_or_else(|| DecodeError::Desync {
                     what: "TNT before any PIP".into(),
                 })?;
-                for taken in bits {
+                for &taken in bits {
                     let condbr = walk_to_need(program, walkers, tid, core_seq, Need::Tnt)?;
                     out.branches.push((tid, condbr, taken));
                     let w = walkers.get_mut(&tid).expect("walker exists");
@@ -152,7 +154,7 @@ fn decode_core(
                 }
             }
             Packet::Tip { ip } => {
-                let tid = current.ok_or_else(|| DecodeError::Desync {
+                let tid = (*current).ok_or_else(|| DecodeError::Desync {
                     what: "TIP before any PIP".into(),
                 })?;
                 let at = walk_to_need(program, walkers, tid, core_seq, Need::Tip)?;
@@ -171,13 +173,13 @@ fn decode_core(
                         }
                     }
                 }
-                w.pos = Some(ip);
+                w.pos = Some(*ip);
             }
             Packet::Pgd { ip } | Packet::Fup { ip } => {
-                let tid = current.ok_or_else(|| DecodeError::Desync {
+                let tid = (*current).ok_or_else(|| DecodeError::Desync {
                     what: "PGD/FUP before any PIP".into(),
                 })?;
-                walk_until_ip(program, walkers, tid, core_seq, ip)?;
+                walk_until_ip(program, walkers, tid, core_seq, *ip)?;
                 let w = walkers.get_mut(&tid).expect("walker exists");
                 w.pos = None;
             }
@@ -186,8 +188,216 @@ fn decode_core(
     Ok(())
 }
 
+/// Decodes one core's byte stream, cache-cold.
+fn decode_core(
+    program: &Program,
+    bytes: &[u8],
+    out: &mut DecodedTrace,
+    core_seq: &mut Vec<(u32, InstrId)>,
+) -> Result<(), DecodeError> {
+    let packets = Packet::decode_all(bytes).map_err(DecodeError::BadBytes)?;
+    gist_obs::counter!("pt.packets_decoded").add(packets.len() as u64);
+    // Walkers are per (core, tid); threads never migrate cores.
+    let mut walkers: HashMap<u32, Walker> = HashMap::new();
+    let mut current: Option<u32> = None;
+    apply_packets(program, &packets, out, core_seq, &mut walkers, &mut current)
+}
+
+/// Decoder state at a segment boundary: which thread the core's stream is
+/// attributed to, plus every walker, sorted by tid for stable comparison.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct StateSnapshot {
+    current: Option<u32>,
+    walkers: Vec<(u32, Walker)>,
+}
+
+fn snapshot(walkers: &HashMap<u32, Walker>, current: Option<u32>) -> StateSnapshot {
+    let mut ws: Vec<(u32, Walker)> = walkers.iter().map(|(&t, w)| (t, w.clone())).collect();
+    ws.sort_unstable_by_key(|&(t, _)| t);
+    StateSnapshot {
+        current,
+        walkers: ws,
+    }
+}
+
+/// One memoized decode of a PSB-delimited packet segment.
+#[derive(Debug)]
+struct CacheEntry {
+    /// Full key, verified on every hit (the map key is only a hash).
+    fingerprint: u64,
+    entry_state: StateSnapshot,
+    bytes: Vec<u8>,
+    /// Replay data: exactly what [`apply_packets`] emitted for the segment.
+    seq: Vec<(u32, InstrId)>,
+    branches: Vec<(u32, InstrId, bool)>,
+    overflowed: bool,
+    exit_state: StateSnapshot,
+}
+
+/// A cross-run PT decode cache, keyed by PSB-delimited packet segments.
+///
+/// Real PT streams resynchronize at periodic PSB packets; fleets of runs
+/// over the same program re-emit many identical segments (same windows,
+/// same control flow). The cache memoizes *(program fingerprint, decoder
+/// state at segment entry, segment bytes)* → *(emitted statements,
+/// branches, overflow flag, decoder state at segment exit)*, so a repeat
+/// segment replays without walking the CFG.
+///
+/// Guarantees:
+///
+/// * **Identical output.** A hit replays exactly what the cold decode of
+///   the same segment from the same entry state would emit; the full key
+///   is compared on every probe, so hash collisions fall back to a cold
+///   decode.
+/// * **Determinism-invisible.** The cache records no observability
+///   metrics: decode counters (`pt.packets_decoded`, `pt.stmts_decoded`,
+///   ...) count the same logical work whether or not a segment hits, so
+///   warm-cache runs stay byte-identical to cold ones.
+/// * Only successful decodes are cached; a [`DecodeError`] caches nothing.
+///
+/// Thread-safe: fleet workers share one cache behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct DecodeCache {
+    inner: Mutex<HashMap<u64, CacheEntry>>,
+}
+
+impl DecodeCache {
+    /// Retention bound: beyond this many segments, new entries are not
+    /// inserted (steady-state fleets reuse a small working set).
+    const MAX_ENTRIES: usize = 4096;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized segments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn segment_hash(fingerprint: u64, entry_state: &StateSnapshot, seg_bytes: &[u8]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    fingerprint.hash(&mut h);
+    entry_state.hash(&mut h);
+    seg_bytes.hash(&mut h);
+    h.finish()
+}
+
+/// Decodes one core's byte stream through the segment cache.
+fn decode_core_cached(
+    program: &Program,
+    bytes: &[u8],
+    out: &mut DecodedTrace,
+    core_seq: &mut Vec<(u32, InstrId)>,
+    cache: &DecodeCache,
+) -> Result<(), DecodeError> {
+    let packets = Packet::decode_all(bytes).map_err(DecodeError::BadBytes)?;
+    gist_obs::counter!("pt.packets_decoded").add(packets.len() as u64);
+    let fingerprint = program.fingerprint();
+    let mut walkers: HashMap<u32, Walker> = HashMap::new();
+    let mut current: Option<u32> = None;
+    // Byte offset of each packet, so segments key on their raw bytes.
+    let mut offsets = Vec::with_capacity(packets.len() + 1);
+    let mut off = 0usize;
+    for p in &packets {
+        offsets.push(off);
+        off += p.encoded_len();
+    }
+    offsets.push(off);
+    // Each PSB resync point starts a new segment.
+    let mut bounds: Vec<usize> = vec![0];
+    for (i, p) in packets.iter().enumerate() {
+        if i > 0 && matches!(p, Packet::Psb) {
+            bounds.push(i);
+        }
+    }
+    bounds.push(packets.len());
+    for w in bounds.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        if p0 == p1 {
+            continue;
+        }
+        let seg_bytes = &bytes[offsets[p0]..offsets[p1]];
+        let entry_state = snapshot(&walkers, current);
+        let hash = segment_hash(fingerprint, &entry_state, seg_bytes);
+        let hit = {
+            let map = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&hash) {
+                Some(e)
+                    if e.fingerprint == fingerprint
+                        && e.entry_state == entry_state
+                        && e.bytes == seg_bytes =>
+                {
+                    core_seq.extend_from_slice(&e.seq);
+                    out.branches.extend_from_slice(&e.branches);
+                    out.overflowed |= e.overflowed;
+                    walkers = e.exit_state.walkers.iter().cloned().collect();
+                    current = e.exit_state.current;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if hit {
+            continue;
+        }
+        let seq0 = core_seq.len();
+        let br0 = out.branches.len();
+        apply_packets(
+            program,
+            &packets[p0..p1],
+            out,
+            core_seq,
+            &mut walkers,
+            &mut current,
+        )?;
+        let entry = CacheEntry {
+            fingerprint,
+            entry_state,
+            bytes: seg_bytes.to_vec(),
+            seq: core_seq[seq0..].to_vec(),
+            branches: out.branches[br0..].to_vec(),
+            // OVF is the only packet that sets the flag, so the segment's
+            // contribution is exactly "did it contain an OVF".
+            overflowed: packets[p0..p1].iter().any(|p| matches!(p, Packet::Ovf)),
+            exit_state: snapshot(&walkers, current),
+        };
+        let mut map = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() < DecodeCache::MAX_ENTRIES {
+            map.insert(hash, entry);
+        }
+    }
+    Ok(())
+}
+
 /// Decodes all cores' streams of one run.
 pub fn decode(program: &Program, core_bytes: &[Vec<u8>]) -> Result<DecodedTrace, DecodeError> {
+    decode_inner(program, core_bytes, None)
+}
+
+/// Like [`decode`], but memoizes PSB-delimited segments in `cache`. The
+/// result is guaranteed identical to [`decode`] on the same input — see
+/// [`DecodeCache`] for the contract.
+pub fn decode_with_cache(
+    program: &Program,
+    core_bytes: &[Vec<u8>],
+    cache: &DecodeCache,
+) -> Result<DecodedTrace, DecodeError> {
+    decode_inner(program, core_bytes, Some(cache))
+}
+
+fn decode_inner(
+    program: &Program,
+    core_bytes: &[Vec<u8>],
+    cache: Option<&DecodeCache>,
+) -> Result<DecodedTrace, DecodeError> {
     let _span = gist_obs::span("pt.decode");
     gist_obs::counter!("pt.decodes").inc();
     gist_obs::counter!("pt.bytes_decoded")
@@ -195,9 +405,10 @@ pub fn decode(program: &Program, core_bytes: &[Vec<u8>]) -> Result<DecodedTrace,
     let mut out = DecodedTrace::default();
     for bytes in core_bytes {
         let mut seq = Vec::new();
-        // Walkers are per (core, tid); threads never migrate cores.
-        let mut walkers = HashMap::new();
-        decode_core(program, bytes, &mut out, &mut seq, &mut walkers)?;
+        match cache {
+            Some(c) => decode_core_cached(program, bytes, &mut out, &mut seq, c)?,
+            None => decode_core(program, bytes, &mut out, &mut seq)?,
+        }
         out.per_core.push(seq);
     }
     gist_obs::counter!("pt.stmts_decoded")

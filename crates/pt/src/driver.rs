@@ -13,17 +13,36 @@
 //! transitions so overhead models can charge per-ioctl cost.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 #[derive(Debug, Default)]
 struct DriverState {
     /// Enable state for cores without an explicit override.
     default_on: bool,
-    /// Per-core overrides.
-    cores: HashMap<u32, bool>,
+    /// Per-core overrides, indexed by core id (`None` = use the default).
+    /// A dense vector, not a map: [`PtDriver::is_enabled`] runs once per
+    /// VM event, and core ids are small integers.
+    cores: Vec<Option<bool>>,
     /// Number of state-changing control operations ("ioctls issued").
     transitions: u64,
+}
+
+impl DriverState {
+    fn core_state(&self, core: u32) -> bool {
+        self.cores
+            .get(core as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(self.default_on)
+    }
+
+    fn set_core(&mut self, core: u32, on: bool) {
+        let idx = core as usize;
+        if self.cores.len() <= idx {
+            self.cores.resize(idx + 1, None);
+        }
+        self.cores[idx] = Some(on);
+    }
 }
 
 /// A handle to the simulated PT kernel driver.
@@ -49,7 +68,7 @@ impl PtDriver {
     /// Sets the default state for all cores (clears per-core overrides).
     pub fn set_default(&self, on: bool) {
         let mut s = self.state.borrow_mut();
-        if s.default_on != on || !s.cores.is_empty() {
+        if s.default_on != on || s.cores.iter().any(Option::is_some) {
             s.transitions += 1;
         }
         s.default_on = on;
@@ -59,9 +78,8 @@ impl PtDriver {
     /// Enables tracing on one core (no-op if already on).
     pub fn trace_on(&self, core: u32) {
         let mut s = self.state.borrow_mut();
-        let cur = *s.cores.get(&core).unwrap_or(&s.default_on);
-        if !cur {
-            s.cores.insert(core, true);
+        if !s.core_state(core) {
+            s.set_core(core, true);
             s.transitions += 1;
         }
     }
@@ -69,17 +87,15 @@ impl PtDriver {
     /// Disables tracing on one core (no-op if already off).
     pub fn trace_off(&self, core: u32) {
         let mut s = self.state.borrow_mut();
-        let cur = *s.cores.get(&core).unwrap_or(&s.default_on);
-        if cur {
-            s.cores.insert(core, false);
+        if s.core_state(core) {
+            s.set_core(core, false);
             s.transitions += 1;
         }
     }
 
     /// True if tracing is enabled on the core.
     pub fn is_enabled(&self, core: u32) -> bool {
-        let s = self.state.borrow();
-        *s.cores.get(&core).unwrap_or(&s.default_on)
+        self.state.borrow().core_state(core)
     }
 
     /// Number of state-changing control operations so far.

@@ -1,0 +1,111 @@
+//! Recycled allocations for trace collection.
+//!
+//! A fleet of tracked runs allocates the same shapes over and over: one
+//! trace buffer per core per run, then one `Vec<u8>` per core handed to
+//! the decoder. [`BufferPool`] keeps those allocations alive across runs
+//! so steady-state collection performs no heap traffic for trace storage.
+//!
+//! The pool is deliberately invisible to the deterministic observability
+//! layer: recycling changes *where* bytes live, never *what* bytes a run
+//! produces, so it records no metrics (a warm pool would otherwise make a
+//! second in-process run observable).
+
+use std::sync::Mutex;
+
+/// A thread-safe pool of byte buffers, shared across fleet workers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Maximum number of retained buffers (excess is simply dropped).
+    max: usize,
+}
+
+impl BufferPool {
+    /// Default retention bound: enough for several in-flight batches of
+    /// per-core buffers without hoarding memory.
+    const DEFAULT_MAX: usize = 64;
+
+    /// Creates an empty pool with the default retention bound.
+    pub fn new() -> Self {
+        Self::with_max(Self::DEFAULT_MAX)
+    }
+
+    /// Creates an empty pool retaining at most `max` buffers.
+    pub fn with_max(max: usize) -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (or a fresh one if empty).
+    pub fn get(&self) -> Vec<u8> {
+        let mut v = self
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a buffer's allocation to the pool for reuse.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < self.max {
+            free.push(buf);
+        }
+    }
+
+    /// Returns several buffers at once (order is irrelevant).
+    pub fn put_all<I: IntoIterator<Item = Vec<u8>>>(&self, bufs: I) {
+        for b in bufs {
+            self.put(b);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_reuses_put_allocation() {
+        let pool = BufferPool::new();
+        let mut v = pool.get();
+        v.extend_from_slice(&[1, 2, 3]);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        pool.put(v);
+        assert_eq!(pool.pooled(), 1);
+        let v2 = pool.get();
+        assert!(v2.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr(), ptr, "same allocation, not a copy");
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BufferPool::with_max(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn capacityless_buffers_are_not_retained() {
+        let pool = BufferPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.pooled(), 0);
+    }
+}

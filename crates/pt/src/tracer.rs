@@ -16,9 +16,7 @@
 //!   PSB/PIP/TIP.PGE on open and a flush + TIP.PGD on close, which is how
 //!   Gist's instrumentation brackets slice statements (§3.2.2).
 
-use std::collections::HashMap;
-
-use gist_ir::{InstrId, Op, Program};
+use gist_ir::{InstrId, Op, Program, Terminator};
 use gist_vm::{Event, Observer};
 
 use crate::buffer::TraceBuffer;
@@ -56,8 +54,34 @@ struct TidWindow {
     core: u32,
 }
 
+/// Per-statement classification bit: the statement is a `call`.
+const FLAG_CALL: u8 = 1;
+/// Per-statement classification bit: the statement is a `ret` terminator.
+const FLAG_RET: u8 = 2;
+
+/// Builds the dense per-statement call/ret flag table, so the per-event
+/// hot path never walks the IR (`Program::instr` / `Program::terminator`
+/// resolve block positions on every lookup).
+fn stmt_flags(program: &Program) -> Vec<u8> {
+    let mut flags = vec![0u8; program.stmt_count()];
+    for f in &program.functions {
+        for b in &f.blocks {
+            for i in &b.instrs {
+                if matches!(i.op, Op::Call { .. }) {
+                    flags[i.id.index()] = FLAG_CALL;
+                }
+            }
+            if matches!(b.term, Terminator::Ret { .. }) {
+                flags[b.term.id().index()] = FLAG_RET;
+            }
+        }
+    }
+    flags
+}
+
 /// The PT tracer. Attach as a VM [`Observer`]; control via [`PtDriver`].
 pub struct PtTracer<'p> {
+    #[allow(dead_code)]
     program: &'p Program,
     driver: PtDriver,
     buffers: Vec<TraceBuffer>,
@@ -66,7 +90,11 @@ pub struct PtTracer<'p> {
     /// Bytes emitted on each core since its last PSB (real PT emits PSB
     /// periodically — about every 4 KB — not at every trace window).
     since_psb: Vec<usize>,
-    windows: HashMap<u32, TidWindow>,
+    /// Per-thread trace windows, indexed by tid (dense: the scheduler
+    /// numbers tids from 0, and `handle` runs once per VM event).
+    windows: Vec<TidWindow>,
+    /// Call/ret classification per statement, indexed by `InstrId`.
+    flags: Vec<u8>,
     /// Total branch events observed while tracing was enabled.
     traced_branches: u64,
     /// Total statements retired while tracing was enabled.
@@ -80,18 +108,34 @@ impl<'p> PtTracer<'p> {
     pub fn new(program: &'p Program, driver: PtDriver, config: PtConfig) -> Self {
         let n = config.num_cores.max(1) as usize;
         PtTracer {
-            program,
             driver,
             buffers: (0..n)
                 .map(|_| TraceBuffer::with_capacity(config.buffer_capacity))
                 .collect(),
             core_tid: vec![None; n],
             since_psb: vec![usize::MAX; n],
-            windows: HashMap::new(),
+            windows: Vec::new(),
+            flags: stmt_flags(program),
+            program,
             traced_branches: 0,
             traced_retired: 0,
             metrics_flushed: false,
         }
+    }
+
+    /// True if `tid` currently has an open trace window.
+    #[inline]
+    fn window_active(&self, tid: u32) -> bool {
+        self.windows.get(tid as usize).is_some_and(|w| w.active)
+    }
+
+    /// The window slot for `tid`, growing the table on first sight.
+    fn window_mut(&mut self, tid: u32) -> &mut TidWindow {
+        let idx = tid as usize;
+        if self.windows.len() <= idx {
+            self.windows.resize_with(idx + 1, TidWindow::default);
+        }
+        &mut self.windows[idx]
     }
 
     /// The per-core trace buffers.
@@ -102,6 +146,17 @@ impl<'p> PtTracer<'p> {
     /// Takes the encoded bytes of every core's buffer.
     pub fn take_traces(&mut self) -> Vec<Vec<u8>> {
         self.buffers.iter_mut().map(TraceBuffer::take).collect()
+    }
+
+    /// Replaces each still-empty core buffer's backing storage with a
+    /// recycled allocation from `pool`. Call before the run starts so the
+    /// encode path appends into warm memory instead of growing fresh Vecs.
+    pub fn recycle_buffers(&mut self, pool: &crate::pool::BufferPool) {
+        for b in &mut self.buffers {
+            if b.is_empty() {
+                *b = TraceBuffer::with_recycled(b.capacity(), pool.get());
+            }
+        }
     }
 
     /// Total encoded trace bytes across cores.
@@ -133,8 +188,9 @@ impl<'p> PtTracer<'p> {
         let tids: Vec<u32> = self
             .windows
             .iter()
+            .enumerate()
             .filter(|(_, w)| w.active)
-            .map(|(&t, _)| t)
+            .map(|(t, _)| t as u32)
             .collect();
         for tid in tids {
             self.close_window(tid);
@@ -170,7 +226,7 @@ impl<'p> PtTracer<'p> {
 
     fn flush_tnt(&mut self, tid: u32) {
         let (core, bits) = {
-            let w = self.windows.get_mut(&tid).expect("window exists");
+            let w = &mut self.windows[tid as usize];
             if w.pending.is_empty() {
                 return;
             }
@@ -196,11 +252,11 @@ impl<'p> PtTracer<'p> {
         if let Some(old) = self.core_tid[core as usize] {
             // Flush the outgoing thread's bits while still attributed.
             self.core_tid[core as usize] = Some(old);
-            let old_bits = {
-                let w = self.windows.get_mut(&old);
-                w.map(|w| std::mem::take(&mut w.pending))
-                    .unwrap_or_default()
-            };
+            let old_bits = self
+                .windows
+                .get_mut(old as usize)
+                .map(|w| std::mem::take(&mut w.pending))
+                .unwrap_or_default();
             for chunk in old_bits.chunks(TNT_CAPACITY) {
                 self.push(
                     core,
@@ -217,7 +273,7 @@ impl<'p> PtTracer<'p> {
     /// Ensures `tid` has an open window; opens one starting at `ip` if not.
     fn ensure_window(&mut self, tid: u32, core: u32, ip: InstrId) {
         let needs_open = {
-            let w = self.windows.entry(tid).or_default();
+            let w = self.window_mut(tid);
             w.core = core;
             !w.active
         };
@@ -225,7 +281,7 @@ impl<'p> PtTracer<'p> {
             self.core_tid[core as usize] = None; // force a PIP
             self.switch_core_to(core, tid);
             self.push(core, Packet::Pge { ip });
-            let w = self.windows.get_mut(&tid).expect("just inserted");
+            let w = &mut self.windows[tid as usize];
             w.active = true;
             w.depth = 0;
             w.pending.clear();
@@ -237,7 +293,7 @@ impl<'p> PtTracer<'p> {
 
     fn close_window(&mut self, tid: u32) {
         let (core, last_ip, active) = {
-            let w = self.windows.get_mut(&tid).expect("window exists");
+            let w = &self.windows[tid as usize];
             (w.core, w.last_ip, w.active)
         };
         if !active {
@@ -248,7 +304,7 @@ impl<'p> PtTracer<'p> {
         if let Some(ip) = last_ip {
             self.push(core, Packet::Pgd { ip });
         }
-        let w = self.windows.get_mut(&tid).expect("window exists");
+        let w = &mut self.windows[tid as usize];
         w.active = false;
         w.depth = 0;
     }
@@ -261,7 +317,7 @@ impl<'p> PtTracer<'p> {
             // The first event a thread produces on a disabled core closes
             // its window: the flow from here on is untraced, and the
             // window must not silently resume later with a gap.
-            if self.windows.get(&tid).map(|w| w.active).unwrap_or(false) {
+            if self.window_active(tid) {
                 self.close_window(tid);
             }
             return;
@@ -272,24 +328,15 @@ impl<'p> PtTracer<'p> {
                 // leaves the function and the decoder would need a TIP that
                 // was decided before the window existed. The caller-side
                 // resume statement opens the window instead.
-                let window_inactive = !self.windows.get(tid).map(|w| w.active).unwrap_or(false);
-                if window_inactive
-                    && matches!(
-                        self.program.terminator(*iid),
-                        Some(gist_ir::Terminator::Ret { .. })
-                    )
-                {
+                let flags = self.flags[iid.index()];
+                if !self.window_active(*tid) && flags & FLAG_RET != 0 {
                     return;
                 }
                 self.ensure_window(*tid, *core, *iid);
                 self.traced_retired += 1;
-                let is_call = matches!(
-                    self.program.instr(*iid).map(|i| &i.op),
-                    Some(Op::Call { .. })
-                );
-                let w = self.windows.get_mut(tid).expect("window open");
+                let w = &mut self.windows[*tid as usize];
                 w.last_ip = Some(*iid);
-                if is_call {
+                if flags & FLAG_CALL != 0 {
                     w.depth += 1;
                 }
             }
@@ -303,7 +350,7 @@ impl<'p> PtTracer<'p> {
                 self.ensure_window(*tid, *core, *iid);
                 self.traced_branches += 1;
                 let flush = {
-                    let w = self.windows.get_mut(tid).expect("window open");
+                    let w = &mut self.windows[*tid as usize];
                     w.pending.push(*taken);
                     w.pending.len() >= TNT_CAPACITY
                 };
@@ -328,12 +375,12 @@ impl<'p> PtTracer<'p> {
             } => {
                 // A return with no open window needs no packet (nothing was
                 // being decoded); the resume point re-opens tracing.
-                if !self.windows.get(tid).map(|w| w.active).unwrap_or(false) {
+                if !self.window_active(*tid) {
                     return;
                 }
                 self.ensure_window(*tid, *core, *iid);
                 let compressed = {
-                    let w = self.windows.get_mut(tid).expect("window open");
+                    let w = &mut self.windows[*tid as usize];
                     if w.depth > 0 {
                         w.depth -= 1;
                         true
@@ -353,17 +400,17 @@ impl<'p> PtTracer<'p> {
                 }
             }
             Event::ThreadExit { tid, .. } => {
-                if self.windows.get(tid).map(|w| w.active).unwrap_or(false) {
+                if self.window_active(*tid) {
                     self.close_window(*tid);
                 }
             }
             Event::Failure { tid, iid, .. } => {
-                if self.windows.get(tid).map(|w| w.active).unwrap_or(false) {
+                if self.window_active(*tid) {
                     self.flush_tnt(*tid);
-                    let core = self.windows[tid].core;
+                    let core = self.windows[*tid as usize].core;
                     self.switch_core_to(core, *tid);
                     self.push(core, Packet::Fup { ip: *iid });
-                    let w = self.windows.get_mut(tid).expect("window open");
+                    let w = &mut self.windows[*tid as usize];
                     w.active = false;
                 }
             }

@@ -1,0 +1,87 @@
+//! Manual micro-benchmark: cold vs cached decode timing.
+//!
+//! Run with `cargo test -p gist-pt --release --test cache_micro --
+//! --ignored --nocapture`. The cached path must stay within the same
+//! order of magnitude as the cold path even at ~100% hit rate — this is
+//! the harness that caught `Program::fingerprint` re-hashing the whole
+//! program on every decode (a 20x per-decode regression).
+
+use gist_ir::parser::parse_program;
+use gist_pt::{decode, decode_with_cache, DecodeCache, PtConfig, PtDriver, PtTracer};
+use gist_vm::{SchedulerKind, Vm, VmConfig};
+
+#[test]
+#[ignore]
+fn micro() {
+    let text = r#"
+global m = 0
+global x = 0
+fn worker(arg) {
+entry:
+  lock $m
+  v = load $x
+  v2 = add v, arg
+  store $x, v2
+  unlock $m
+  ret
+}
+fn main() {
+entry:
+  t1 = spawn worker(1)
+  t2 = spawn worker(2)
+  t3 = spawn worker(3)
+  join t1
+  join t2
+  join t3
+  v = load $x
+  print v
+  ret
+}
+"#;
+    let p = parse_program("t", text).unwrap();
+    // Collect several distinct traces (different seeds) like the fleet does.
+    let mut traces = Vec::new();
+    for seed in 0..16u64 {
+        let mut tracer = PtTracer::new(&p, PtDriver::always_on(), PtConfig::default());
+        let mut vm = Vm::new(
+            &p,
+            VmConfig {
+                num_cores: 4,
+                scheduler: SchedulerKind::Random { seed, preempt: 0.5 },
+                ..VmConfig::default()
+            },
+        );
+        vm.run(&mut [&mut tracer]);
+        tracer.finish();
+        traces.push(tracer.take_traces());
+    }
+    let total_bytes: usize = traces.iter().flatten().map(|b| b.len()).sum();
+    eprintln!(
+        "16 traces, {total_bytes} bytes total ({} per run)",
+        total_bytes / 16
+    );
+
+    let n = 2000usize;
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        let d = decode(&p, &traces[i % 16]).unwrap();
+        std::hint::black_box(d);
+    }
+    let cold = t0.elapsed();
+
+    let cache = DecodeCache::new();
+    let t1 = std::time::Instant::now();
+    for i in 0..n {
+        let d = decode_with_cache(&p, &traces[i % 16], &cache).unwrap();
+        std::hint::black_box(d);
+    }
+    let warm = t1.elapsed();
+    eprintln!(
+        "cold: {:?} ({:.2}us/decode)  cached: {:?} ({:.2}us/decode)  cache len {}",
+        cold,
+        cold.as_secs_f64() * 1e6 / n as f64,
+        warm,
+        warm.as_secs_f64() * 1e6 / n as f64,
+        cache.len()
+    );
+}

@@ -2,10 +2,11 @@
 //! during a production run.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use gist_ir::{InstrId, Program};
 use gist_pt::decoder::DecodedTrace;
-use gist_pt::{PtConfig, PtDriver, PtTracer};
+use gist_pt::{BufferPool, DecodeCache, PtConfig, PtDriver, PtTracer};
 use gist_vm::{Event, Observer};
 use gist_watch::{WatchCondition, WatchError, WatchHit, WatchUnit};
 
@@ -43,22 +44,66 @@ pub struct RunTrace {
     pub missed_arms: u64,
 }
 
+/// Per-statement patch bit: arm a watchpoint at this access.
+const P_WATCH: u8 = 1;
+/// Per-statement patch bit: stop tracing after this statement retires.
+const P_OFF_AFTER: u8 = 2;
+/// Per-statement patch bit: start tracing after this statement retires.
+const P_ON_AFTER: u8 = 4;
+/// Per-statement patch bit: resume tracing when a `ret` returns here.
+const P_ON_RETURN_TO: u8 = 8;
+
+/// Dense patch lookups, built once per run so the per-event hot path
+/// never probes a `BTreeSet` (`on_event` runs for every retired statement
+/// and memory access of the production run).
+struct PatchIndex {
+    /// OR of `P_*` bits per statement, indexed by `InstrId`.
+    stmt: Vec<u8>,
+    /// Functions with a start point at their entry, indexed by `FuncId`.
+    on_enter: Vec<bool>,
+}
+
+impl PatchIndex {
+    fn new(program: &Program, patch: &InstrumentationPatch) -> Self {
+        let mut stmt = vec![0u8; program.stmt_count()];
+        let mut mark = |set: &BTreeSet<InstrId>, bit: u8| {
+            for s in set {
+                stmt[s.index()] |= bit;
+            }
+        };
+        mark(&patch.watch_accesses, P_WATCH);
+        mark(&patch.pt_off_after, P_OFF_AFTER);
+        mark(&patch.pt_on_after, P_ON_AFTER);
+        mark(&patch.pt_on_return_to, P_ON_RETURN_TO);
+        let mut on_enter = vec![false; program.functions.len()];
+        for f in &patch.pt_on_enter {
+            on_enter[f.index()] = true;
+        }
+        PatchIndex { stmt, on_enter }
+    }
+}
+
 /// The runtime tracker. Attach to a VM run as an [`Observer`]; call
 /// [`TrackerRuntime::finish`] afterwards to decode and collect the trace.
 pub struct TrackerRuntime<'p> {
     program: &'p Program,
     patch: InstrumentationPatch,
+    index: PatchIndex,
     driver: PtDriver,
     tracer: PtTracer<'p>,
     watch: WatchUnit,
     /// addr -> arming statement, for discovery bookkeeping.
     armed_for: HashMap<u64, InstrId>,
-    /// Cores with a resume point pending until the `ret` retires. The VM
-    /// emits `Return { to }` while executing the `ret`, before its
-    /// `Retired` event; applying the resume immediately would let a
-    /// `pt_off_after` on the `ret` itself clobber it.
-    pending_resume: BTreeSet<u32>,
+    /// Cores with a resume point pending until the `ret` retires, indexed
+    /// by core. The VM emits `Return { to }` while executing the `ret`,
+    /// before its `Retired` event; applying the resume immediately would
+    /// let a `pt_off_after` on the `ret` itself clobber it.
+    pending_resume: Vec<bool>,
     missed_arms: u64,
+    /// Cross-run decode memoization (fleet-shared); `None` = cold decode.
+    decode_cache: Option<Arc<DecodeCache>>,
+    /// Trace-storage recycling (fleet-shared); `None` = fresh allocations.
+    buffer_pool: Option<Arc<BufferPool>>,
 }
 
 impl<'p> TrackerRuntime<'p> {
@@ -78,16 +123,35 @@ impl<'p> TrackerRuntime<'p> {
                 ..PtConfig::default()
             },
         );
+        let index = PatchIndex::new(program, &patch);
         TrackerRuntime {
             program,
             patch,
+            index,
             driver,
             tracer,
             watch: WatchUnit::new(),
             armed_for: HashMap::new(),
-            pending_resume: BTreeSet::new(),
+            pending_resume: vec![false; num_cores.max(1) as usize],
             missed_arms: 0,
+            decode_cache: None,
+            buffer_pool: None,
         }
+    }
+
+    /// Shares a cross-run [`DecodeCache`]: [`TrackerRuntime::finish`] then
+    /// decodes through it. Output is guaranteed identical to a cold decode.
+    pub fn with_decode_cache(mut self, cache: Arc<DecodeCache>) -> Self {
+        self.decode_cache = Some(cache);
+        self
+    }
+
+    /// Shares a [`BufferPool`]: trace buffers adopt recycled storage now,
+    /// and [`TrackerRuntime::finish`] returns the allocations after decode.
+    pub fn with_buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.tracer.recycle_buffers(&pool);
+        self.buffer_pool = Some(pool);
+        self
     }
 
     /// Access to the driver (tests and ablations).
@@ -101,13 +165,20 @@ impl<'p> TrackerRuntime<'p> {
         let pt_bytes = self.tracer.total_bytes();
         let traced_retired = self.tracer.traced_retired();
         let traces = self.tracer.take_traces();
-        let decoded = gist_pt::decoder::decode(self.program, &traces).unwrap_or_else(|e| {
+        let decoded = match &self.decode_cache {
+            Some(cache) => gist_pt::decoder::decode_with_cache(self.program, &traces, cache),
+            None => gist_pt::decoder::decode(self.program, &traces),
+        }
+        .unwrap_or_else(|e| {
             // An undecodable trace yields an empty one; refinement then
             // simply learns nothing from this run. Surface in tests via
             // debug assertions.
             debug_assert!(false, "PT decode failed: {e}");
             DecodedTrace::default()
         });
+        if let Some(pool) = &self.buffer_pool {
+            pool.put_all(traces);
+        }
         let executed = decoded.executed();
         let executed_tracked: BTreeSet<InstrId> = self
             .patch
@@ -164,7 +235,7 @@ impl Observer for TrackerRuntime<'_> {
             ..
         } = ev
         {
-            if self.patch.watch_accesses.contains(iid) && !is_stack {
+            if self.index.stmt[iid.index()] & P_WATCH != 0 && !is_stack {
                 match self.watch.set(*addr, 1, WatchCondition::ReadWrite) {
                     Ok(_) => {
                         self.armed_for.insert(*addr, *iid);
@@ -184,23 +255,24 @@ impl Observer for TrackerRuntime<'_> {
         // 3. Control-flow toggles fire after the statement completes, on
         //    the executing thread's core (Intel PT is per-core).
         if let Event::Retired { iid, core, .. } = ev {
-            if self.patch.pt_off_after.contains(iid) {
+            let bits = self.index.stmt[iid.index()];
+            if bits & P_OFF_AFTER != 0 {
                 self.driver.trace_off(*core);
             }
-            if self.patch.pt_on_after.contains(iid) {
+            if bits & P_ON_AFTER != 0 {
                 self.driver.trace_on(*core);
             }
             // A resume point deferred from the `Return` event takes effect
             // once the `ret` itself has retired (and any stop on it has
             // been applied) — control is now at the return target.
-            if self.pending_resume.remove(core) {
+            if std::mem::take(&mut self.pending_resume[*core as usize]) {
                 self.driver.trace_on(*core);
             }
         }
         // 4. Function-entry start points (tracked statements in callee /
         //    thread-routine entry blocks) fire in the entering thread.
         if let Event::Enter { func, core, .. } = ev {
-            if self.patch.pt_on_enter.contains(func) {
+            if self.index.on_enter[func.index()] {
                 self.driver.trace_on(*core);
             }
         }
@@ -213,8 +285,8 @@ impl Observer for TrackerRuntime<'_> {
             to: Some(to), core, ..
         } = ev
         {
-            if self.patch.pt_on_return_to.contains(to) {
-                self.pending_resume.insert(*core);
+            if self.index.stmt[to.index()] & P_ON_RETURN_TO != 0 {
+                self.pending_resume[*core as usize] = true;
             }
         }
     }

@@ -41,15 +41,21 @@
 //! assert_eq!(out.output, vec![42]);
 //! ```
 
+pub mod compiled;
 pub mod event;
 pub mod failure;
 pub mod mem;
 pub mod sched;
 pub mod thread;
+#[cfg(feature = "treewalk")]
+pub mod treewalk;
 pub mod vm;
 
+pub use compiled::CompiledProgram;
 pub use event::{AccessKind, Event, Observer};
 pub use failure::{FailureKind, FailureReport, StackFrame};
-pub use mem::Memory;
+pub use mem::{MemScratch, Memory};
 pub use sched::{FixedSchedule, RandomScheduler, RoundRobin, Scheduler, SchedulerKind};
-pub use vm::{Input, RunOutcome, RunResult, Vm, VmConfig};
+#[cfg(feature = "treewalk")]
+pub use treewalk::TreeWalkVm;
+pub use vm::{Input, RunOutcome, RunResult, Vm, VmConfig, VmScratch};

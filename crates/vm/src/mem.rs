@@ -15,8 +15,62 @@
 
 use gist_ir::{Program, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::failure::FailureKind;
+
+/// A fast multiply-rotate hasher for the address-keyed shadow maps.
+///
+/// Cell lookups are the single hottest memory operation of a fleet run;
+/// SipHash's per-lookup cost dominates it. Addresses are attacker-free
+/// simulation values, so a non-cryptographic mix is safe. Nothing
+/// iterates these maps in an order-sensitive way (the only scan,
+/// [`Memory::globals_extent`], takes a max), so hash order cannot leak
+/// into the deterministic event stream.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// Address-keyed map with the fast hasher.
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Recycled allocations of a finished run's [`Memory`], handed back to
+/// [`Memory::with_scratch`] so batched fleet runs stop re-growing the cell
+/// map from empty every run.
+#[derive(Debug, Default)]
+pub struct MemScratch {
+    cells: FxHashMap<u64, Value>,
+}
 
 /// Base address of the globals segment.
 pub const GLOBALS_BASE: u64 = 0x1000;
@@ -43,12 +97,12 @@ struct AllocInfo {
 /// The VM's memory.
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    cells: HashMap<u64, Value>,
+    cells: FxHashMap<u64, Value>,
     /// Heap allocations by base address.
     allocs: BTreeMap<u64, AllocInfo>,
     next_heap: u64,
     /// Per-thread stack bump pointers.
-    stack_tops: HashMap<u32, u64>,
+    stack_tops: FxHashMap<u32, u64>,
     /// Map from global id to base address.
     global_bases: Vec<u64>,
 }
@@ -56,7 +110,18 @@ pub struct Memory {
 impl Memory {
     /// Creates memory with the program's globals materialized.
     pub fn new(program: &Program) -> Memory {
+        Memory::with_scratch(program, MemScratch::default())
+    }
+
+    /// Creates memory reusing a previous run's allocations.
+    ///
+    /// Behaviorally identical to [`Memory::new`]; the recycled cell map
+    /// keeps its capacity, so a pooled fleet run skips the rehash-growth
+    /// of a cold map.
+    pub fn with_scratch(program: &Program, mut scratch: MemScratch) -> Memory {
+        scratch.cells.clear();
         let mut m = Memory {
+            cells: scratch.cells,
             next_heap: HEAP_BASE,
             ..Memory::default()
         };
@@ -75,9 +140,20 @@ impl Memory {
         m
     }
 
+    /// Tears the memory down to its reusable allocations.
+    pub fn into_scratch(mut self) -> MemScratch {
+        self.cells.clear();
+        MemScratch { cells: self.cells }
+    }
+
     /// The base address of a global.
     pub fn global_base(&self, g: gist_ir::GlobalId) -> u64 {
         self.global_bases[g.index()]
+    }
+
+    /// All global base addresses (compile-time layout verification).
+    pub(crate) fn global_bases(&self) -> &[u64] {
+        &self.global_bases
     }
 
     /// End of the globals segment (exclusive).

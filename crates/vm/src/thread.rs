@@ -23,10 +23,19 @@ pub enum ThreadState {
 }
 
 /// One activation record.
+///
+/// The frame carries *two* program counters: `pc` indexes the function's
+/// flat compiled instruction stream (the engine [`crate::Vm`] dispatches
+/// over), while `block`/`index` address the IR tree (used by the legacy
+/// tree-walk engine kept for differential testing). Each engine maintains
+/// only its own counter.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// The function.
     pub func: FuncId,
+    /// Index of the next instruction in the compiled stream
+    /// (see `gist_vm::compiled`).
+    pub pc: usize,
     /// Current block.
     pub block: BlockId,
     /// Index of the next statement within the block
@@ -54,6 +63,7 @@ impl Frame {
         }
         Frame {
             func,
+            pc: 0,
             block: BlockId(0),
             index: 0,
             vars,

@@ -1,10 +1,20 @@
 //! The interpreter.
+//!
+//! Execution dispatches over a [`CompiledProgram`] — a flat, dense lowering
+//! of the IR produced once per program (see [`crate::compiled`]) — rather
+//! than re-walking the `function -> block -> instr` tree on every step.
+//! The observable behavior (event stream, failure reports, counters) is
+//! identical to the legacy tree-walk engine, which is retained under the
+//! `treewalk` feature as a differential-testing oracle.
 
-use gist_ir::{BinKind, Callee, FuncId, InstrId, Op, Operand, Program, Terminator, Value, VarId};
+use std::sync::Arc;
 
+use gist_ir::{BinKind, FuncId, InstrId, Program, Value, VarId};
+
+use crate::compiled::{CCallee, COp, CompiledProgram, Slot};
 use crate::event::{AccessKind, Event, Observer};
 use crate::failure::{FailureKind, FailureReport, StackFrame};
-use crate::mem::Memory;
+use crate::mem::{FxHashMap, MemScratch, Memory};
 use crate::sched::SchedulerKind;
 use crate::thread::{BlockReason, Frame, Thread, ThreadState};
 
@@ -96,14 +106,29 @@ pub struct RunResult {
     pub preemptions: u64,
 }
 
+/// Recycled allocations of a finished [`Vm`], for pooled batch execution.
+///
+/// A fleet worker that tears a VM down to scratch with
+/// [`Vm::into_scratch`] and rebuilds the next run's VM with
+/// [`Vm::with_scratch`] reuses the shadow-memory map's capacity instead of
+/// re-growing it from empty every run. Purely an allocation-reuse
+/// mechanism: a scratch-built VM is behaviorally identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct VmScratch {
+    mem: MemScratch,
+}
+
 /// The MiniC virtual machine.
 pub struct Vm<'p> {
     program: &'p Program,
+    /// The flat lowered instruction streams the engine dispatches over;
+    /// shared read-only across all VMs running the same program.
+    compiled: Arc<CompiledProgram>,
     config: VmConfig,
     mem: Memory,
     threads: Vec<Thread>,
     /// Mutex cell address -> owner tid.
-    mutex_owners: std::collections::HashMap<u64, u32>,
+    mutex_owners: FxHashMap<u64, u32>,
     /// Materialized input values (after string interning).
     input_values: Vec<Value>,
     output: Vec<Value>,
@@ -133,9 +158,42 @@ enum Exec {
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM for one run of `program`.
+    /// Creates a VM for one run of `program`, compiling it on first use
+    /// (subsequent VMs for the same program share the cached compilation).
     pub fn new(program: &'p Program, config: VmConfig) -> Vm<'p> {
-        let mut mem = Memory::new(program);
+        Vm::with_compiled(program, CompiledProgram::shared(program), config)
+    }
+
+    /// Creates a VM executing an already-lowered `program`. The caller is
+    /// responsible for `compiled` being the compilation of `program` —
+    /// typically via [`CompiledProgram::shared`], which a fleet calls once
+    /// and then clones the `Arc` per worker.
+    pub fn with_compiled(
+        program: &'p Program,
+        compiled: Arc<CompiledProgram>,
+        config: VmConfig,
+    ) -> Vm<'p> {
+        Vm::with_scratch(program, compiled, config, VmScratch::default())
+    }
+
+    /// Like [`Vm::with_compiled`], but recycling a previous run's
+    /// allocations.
+    pub fn with_scratch(
+        program: &'p Program,
+        compiled: Arc<CompiledProgram>,
+        config: VmConfig,
+        scratch: VmScratch,
+    ) -> Vm<'p> {
+        debug_assert!(
+            compiled.matches(program),
+            "compiled program does not correspond to the IR it runs"
+        );
+        let mut mem = Memory::with_scratch(program, scratch.mem);
+        debug_assert_eq!(
+            mem.global_bases(),
+            &compiled.global_bases[..],
+            "compile-time global layout must mirror Memory::new"
+        );
         let input_values = config
             .inputs
             .iter()
@@ -145,15 +203,16 @@ impl<'p> Vm<'p> {
             })
             .collect();
         let entry = program.entry;
-        let nvars = program.function(entry).num_vars();
+        let nvars = compiled.funcs[entry.index()].num_vars;
         let threads = vec![Thread::new(0, 0, entry, nvars, &[])];
         let cores = config.num_cores.max(1);
         Vm {
             program,
+            compiled,
             config,
             mem,
             threads,
-            mutex_owners: std::collections::HashMap::new(),
+            mutex_owners: FxHashMap::default(),
             input_values,
             output: Vec::new(),
             seq: 0,
@@ -165,6 +224,13 @@ impl<'p> Vm<'p> {
             branches: 0,
             indirect_transfers: 0,
             mem_accesses: 0,
+        }
+    }
+
+    /// Tears the VM down to its reusable allocations.
+    pub fn into_scratch(self) -> VmScratch {
+        VmScratch {
+            mem: self.mem.into_scratch(),
         }
     }
 
@@ -198,6 +264,10 @@ impl<'p> Vm<'p> {
         scheduler: &mut dyn crate::sched::Scheduler,
         observers: &mut [&mut dyn Observer],
     ) -> RunResult {
+        // One Arc clone for the whole run; `comp` and `self` are disjoint
+        // borrows, so the dispatch loop reads compiled code while mutating
+        // VM state without per-step refcount traffic.
+        let comp = Arc::clone(&self.compiled);
         let entry = self.program.entry;
         {
             let seq = self.next_seq();
@@ -211,25 +281,26 @@ impl<'p> Vm<'p> {
                 },
             );
         }
+        let mut runnable: Vec<u32> = Vec::with_capacity(4);
         loop {
-            let runnable: Vec<u32> = self
-                .threads
-                .iter()
-                .filter(|t| t.is_runnable())
-                .map(|t| t.tid)
-                .collect();
+            runnable.clear();
+            runnable.extend(
+                self.threads
+                    .iter()
+                    .filter(|t| t.is_runnable())
+                    .map(|t| t.tid),
+            );
             if runnable.is_empty() {
-                let blocked: Vec<&Thread> = self
+                let blocked = self
                     .threads
                     .iter()
-                    .filter(|t| matches!(t.state, ThreadState::Blocked(_)))
-                    .collect();
-                if blocked.is_empty() {
+                    .find(|t| matches!(t.state, ThreadState::Blocked(_)));
+                let Some(blocked) = blocked else {
                     // Everything finished.
                     return self.result(RunOutcome::Finished);
-                }
+                };
                 // Deadlock at the first blocked thread's current statement.
-                let t = blocked[0].tid;
+                let t = blocked.tid;
                 let iid = self.current_stmt(t);
                 let report = self.report(t, iid, FailureKind::Deadlock);
                 let (core, seq) = (self.threads[t as usize].core, self.next_seq());
@@ -269,7 +340,7 @@ impl<'p> Vm<'p> {
                 }
             }
             self.last_picked = Some(tid);
-            if let Some(outcome) = self.step_thread(tid, observers) {
+            if let Some(outcome) = self.step_thread(&comp, tid, observers) {
                 return self.result(outcome);
             }
         }
@@ -308,12 +379,7 @@ impl<'p> Vm<'p> {
     /// The statement the thread will execute next.
     fn current_stmt(&self, tid: u32) -> InstrId {
         let frame = self.threads[tid as usize].top();
-        let block = self.program.function(frame.func).block(frame.block);
-        if frame.index < block.instrs.len() {
-            block.instrs[frame.index].id
-        } else {
-            block.term.id()
-        }
+        self.compiled.funcs[frame.func.index()].code[frame.pc].iid
     }
 
     fn report(&self, tid: u32, iid: InstrId, kind: FailureKind) -> FailureReport {
@@ -343,27 +409,25 @@ impl<'p> Vm<'p> {
 
     /// Executes one statement of thread `tid`. Returns `Some(outcome)` if
     /// the run ended.
-    fn step_thread(&mut self, tid: u32, observers: &mut [&mut dyn Observer]) -> Option<RunOutcome> {
-        let iid = self.current_stmt(tid);
-        let core = self.threads[tid as usize].core;
+    fn step_thread(
+        &mut self,
+        comp: &CompiledProgram,
+        tid: u32,
+        observers: &mut [&mut dyn Observer],
+    ) -> Option<RunOutcome> {
         let frame = self.threads[tid as usize].top();
-        let func = frame.func;
-        let block = frame.block;
-        let index = frame.index;
-        let b = self.program.function(func).block(block);
+        let core = self.threads[tid as usize].core;
+        let ci = &comp.funcs[frame.func.index()].code[frame.pc];
+        let iid = ci.iid;
 
         // Two-phase memory accesses: the first scheduling step of an
         // access computes its address and emits PreAccess (the watchpoint
         // arm point); the access itself executes on a later step, so other
-        // threads may interleave in between — as on real hardware.
-        if index < b.instrs.len() && !self.threads[tid as usize].top().pre_access_done {
-            if let Some(addr_op) = b.instrs[index].op.access_addr() {
-                let kind = if b.instrs[index].op.is_memory_write() {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                let addr = self.eval(tid, addr_op) as u64;
+        // threads may interleave in between — as on real hardware. The
+        // address slot and kind were precomputed at lowering time.
+        if !frame.pre_access_done {
+            if let Some((addr_slot, kind)) = ci.pre {
+                let addr = self.val(tid, addr_slot) as u64;
                 self.threads[tid as usize].top_mut().pre_access_done = true;
                 if addr != 0 {
                     let seq = self.next_seq();
@@ -385,13 +449,7 @@ impl<'p> Vm<'p> {
             }
         }
 
-        let exec = if index < b.instrs.len() {
-            let op = b.instrs[index].op.clone();
-            self.exec_op(tid, iid, &op, observers)
-        } else {
-            let term = b.term.clone();
-            self.exec_term(tid, &term, observers)
-        };
+        let exec = self.exec_op(comp, tid, iid, &ci.op, observers);
 
         match exec {
             Exec::Block(reason) => {
@@ -417,7 +475,7 @@ impl<'p> Vm<'p> {
             Exec::Continue => {
                 self.retire(tid, core, iid, observers);
                 let f = self.threads[tid as usize].top_mut();
-                f.index += 1;
+                f.pc += 1;
                 f.pre_access_done = false;
             }
             Exec::Jumped => {
@@ -450,12 +508,17 @@ impl<'p> Vm<'p> {
         );
     }
 
-    fn eval(&self, tid: u32, op: Operand) -> Value {
-        match op {
-            Operand::Const(v) => v,
-            Operand::Global(g) => self.mem.global_base(g) as Value,
-            Operand::Var(v) => self.threads[tid as usize].top().vars[v.index()].unwrap_or(0),
+    #[inline]
+    fn val(&self, tid: u32, slot: Slot) -> Value {
+        match slot {
+            Slot::Const(v) => v,
+            Slot::Var(i) => self.threads[tid as usize].top().vars[i as usize].unwrap_or(0),
         }
+    }
+
+    #[inline]
+    fn set_slot(&mut self, tid: u32, slot: u32, value: Value) {
+        self.threads[tid as usize].top_mut().vars[slot as usize] = Some(value);
     }
 
     fn set_var(&mut self, tid: u32, var: VarId, value: Value) {
@@ -491,18 +554,19 @@ impl<'p> Vm<'p> {
 
     fn exec_op(
         &mut self,
+        comp: &CompiledProgram,
         tid: u32,
         iid: InstrId,
-        op: &Op,
+        op: &COp,
         observers: &mut [&mut dyn Observer],
     ) -> Exec {
         match op {
-            Op::Const { dst, value } => {
-                self.set_var(tid, *dst, *value);
+            COp::Const { dst, value } => {
+                self.set_slot(tid, *dst, *value);
                 Exec::Continue
             }
-            Op::Bin { dst, kind, a, b } => {
-                let (a, b) = (self.eval(tid, *a), self.eval(tid, *b));
+            COp::Bin { dst, kind, a, b } => {
+                let (a, b) = (self.val(tid, *a), self.val(tid, *b));
                 let r = match kind {
                     BinKind::Add => a.wrapping_add(b),
                     BinKind::Sub => a.wrapping_sub(b),
@@ -525,28 +589,28 @@ impl<'p> Vm<'p> {
                     BinKind::Shl => a.wrapping_shl(b as u32 & 63),
                     BinKind::Shr => a.wrapping_shr(b as u32 & 63),
                 };
-                self.set_var(tid, *dst, r);
+                self.set_slot(tid, *dst, r);
                 Exec::Continue
             }
-            Op::Cmp { dst, kind, a, b } => {
-                let r = kind.eval(self.eval(tid, *a), self.eval(tid, *b));
-                self.set_var(tid, *dst, r);
+            COp::Cmp { dst, kind, a, b } => {
+                let r = kind.eval(self.val(tid, *a), self.val(tid, *b));
+                self.set_slot(tid, *dst, r);
                 Exec::Continue
             }
-            Op::Load { dst, addr } => {
-                let a = self.eval(tid, *addr) as u64;
+            COp::Load { dst, addr } => {
+                let a = self.val(tid, *addr) as u64;
                 match self.mem.load(a) {
                     Ok(v) => {
                         self.emit_mem(observers, tid, iid, AccessKind::Read, a, v);
-                        self.set_var(tid, *dst, v);
+                        self.set_slot(tid, *dst, v);
                         Exec::Continue
                     }
                     Err(k) => Exec::Fail(k),
                 }
             }
-            Op::Store { addr, value } => {
-                let a = self.eval(tid, *addr) as u64;
-                let v = self.eval(tid, *value);
+            COp::Store { addr, value } => {
+                let a = self.val(tid, *addr) as u64;
+                let v = self.val(tid, *value);
                 match self.mem.store(a, v) {
                     Ok(()) => {
                         self.emit_mem(observers, tid, iid, AccessKind::Write, a, v);
@@ -555,25 +619,25 @@ impl<'p> Vm<'p> {
                     Err(k) => Exec::Fail(k),
                 }
             }
-            Op::Gep { dst, base, offset } => {
-                let r = self.eval(tid, *base).wrapping_add(self.eval(tid, *offset));
-                self.set_var(tid, *dst, r);
+            COp::Gep { dst, base, offset } => {
+                let r = self.val(tid, *base).wrapping_add(self.val(tid, *offset));
+                self.set_slot(tid, *dst, r);
                 Exec::Continue
             }
-            Op::Alloc { dst, size } => {
-                let n = self.eval(tid, *size).max(0) as u64;
+            COp::Alloc { dst, size } => {
+                let n = self.val(tid, *size).max(0) as u64;
                 let base = self.mem.heap_alloc(n);
-                self.set_var(tid, *dst, base as Value);
+                self.set_slot(tid, *dst, base as Value);
                 Exec::Continue
             }
-            Op::StackAlloc { dst, size } => {
-                let n = self.eval(tid, *size).max(0) as u64;
+            COp::StackAlloc { dst, size } => {
+                let n = self.val(tid, *size).max(0) as u64;
                 let base = self.mem.stack_alloc(tid, n);
-                self.set_var(tid, *dst, base as Value);
+                self.set_slot(tid, *dst, base as Value);
                 Exec::Continue
             }
-            Op::Free { addr } => {
-                let a = self.eval(tid, *addr) as u64;
+            COp::Free { addr } => {
+                let a = self.val(tid, *addr) as u64;
                 match self.mem.heap_free(a) {
                     Ok(()) => {
                         if a != 0 {
@@ -584,25 +648,31 @@ impl<'p> Vm<'p> {
                     Err(k) => Exec::Fail(k),
                 }
             }
-            Op::Call { dst, callee, args } => self.do_call(tid, iid, *dst, callee, args, observers),
-            Op::FuncAddr { dst, func } => {
-                let v = Program::FUNC_ADDR_BASE + func.index() as Value;
-                self.set_var(tid, *dst, v);
+            COp::Call { dst, callee, args } => {
+                self.do_call(comp, tid, iid, *dst, *callee, args, observers)
+            }
+            COp::FuncAddr { dst, value } => {
+                self.set_slot(tid, *dst, *value);
                 Exec::Continue
             }
-            Op::ThreadCreate { dst, routine, arg } => {
-                let target = match self.resolve_callee(tid, routine) {
+            COp::ThreadCreate { dst, routine, arg } => {
+                let target = match self.resolve_callee(comp, tid, *routine) {
                     Ok(f) => f,
                     Err(k) => return Exec::Fail(k),
                 };
-                let arg = self.eval(tid, *arg);
+                let arg = self.val(tid, *arg);
                 let child = self.threads.len() as u32;
                 let core = child % self.config.num_cores.max(1);
-                let nvars = self.program.function(target).num_vars();
-                self.threads
-                    .push(Thread::new(child, core, target, nvars, &[arg]));
+                let nvars = comp.funcs[target].num_vars;
+                self.threads.push(Thread::new(
+                    child,
+                    core,
+                    FuncId(target as u32),
+                    nvars,
+                    &[arg],
+                ));
                 if let Some(d) = dst {
-                    self.set_var(tid, *d, child as Value);
+                    self.set_slot(tid, *d, child as Value);
                 }
                 let parent_core = self.threads[tid as usize].core;
                 let seq = self.next_seq();
@@ -622,13 +692,13 @@ impl<'p> Vm<'p> {
                         seq,
                         tid: child,
                         core,
-                        func: target,
+                        func: FuncId(target as u32),
                     },
                 );
                 Exec::Continue
             }
-            Op::ThreadJoin { tid: target } => {
-                let target = self.eval(tid, *target);
+            COp::ThreadJoin { tid: target } => {
+                let target = self.val(tid, *target);
                 if target < 0 || target as usize >= self.threads.len() {
                     // Joining an invalid tid: treat as a no-op, like joining
                     // an already-detached pthread id.
@@ -641,8 +711,8 @@ impl<'p> Vm<'p> {
                     Exec::Block(BlockReason::Join(target))
                 }
             }
-            Op::MutexLock { addr } => {
-                let a = self.eval(tid, *addr) as u64;
+            COp::MutexLock { addr } => {
+                let a = self.val(tid, *addr) as u64;
                 // Validate the mutex cell is accessible (NULL / freed mutex
                 // is the pbzip2 #1 crash).
                 if let Err(k) = self.mem.load(a) {
@@ -666,8 +736,8 @@ impl<'p> Vm<'p> {
                     }
                 }
             }
-            Op::MutexUnlock { addr } => {
-                let a = self.eval(tid, *addr) as u64;
+            COp::MutexUnlock { addr } => {
+                let a = self.val(tid, *addr) as u64;
                 if let Err(k) = self.mem.load(a) {
                     return Exec::Fail(k);
                 }
@@ -685,27 +755,97 @@ impl<'p> Vm<'p> {
                     _ => Exec::Fail(FailureKind::UnlockNotHeld { addr: a }),
                 }
             }
-            Op::Assert { cond, msg } => {
-                if self.eval(tid, *cond) == 0 {
-                    Exec::Fail(FailureKind::AssertFail { msg: msg.clone() })
+            COp::Assert { cond, msg } => {
+                if self.val(tid, *cond) == 0 {
+                    Exec::Fail(FailureKind::AssertFail {
+                        msg: msg.as_ref().to_string(),
+                    })
                 } else {
                     Exec::Continue
                 }
             }
-            Op::Print { args } => {
-                let vals: Vec<Value> = args.iter().map(|&a| self.eval(tid, a)).collect();
-                self.output.extend(vals);
+            COp::Print { args } => {
+                for &a in args.iter() {
+                    let v = self.val(tid, a);
+                    self.output.push(v);
+                }
                 Exec::Continue
             }
-            Op::Intrinsic { dst, kind, args } => {
+            COp::Intrinsic { dst, kind, args } => {
                 self.exec_intrinsic(tid, iid, *dst, *kind, args, observers)
             }
-            Op::ReadInput { dst, index } => {
+            COp::ReadInput { dst, index } => {
                 let v = self.input_values.get(*index).copied().unwrap_or(0);
-                self.set_var(tid, *dst, v);
+                self.set_slot(tid, *dst, v);
                 Exec::Continue
             }
-            Op::Nop => Exec::Continue,
+            COp::Nop => Exec::Continue,
+            COp::Jump { to } => {
+                self.threads[tid as usize].top_mut().pc = *to as usize;
+                Exec::Jumped
+            }
+            COp::CondBr {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let taken = self.val(tid, *cond) != 0;
+                self.branches += 1;
+                let core = self.threads[tid as usize].core;
+                let seq = self.next_seq();
+                self.emit(
+                    observers,
+                    Event::Branch {
+                        seq,
+                        tid,
+                        core,
+                        iid,
+                        taken,
+                    },
+                );
+                let f = self.threads[tid as usize].top_mut();
+                f.pc = if taken { *then_to } else { *else_to } as usize;
+                Exec::Jumped
+            }
+            COp::Ret { value } => {
+                let rv = value.map(|v| self.val(tid, v));
+                let frame = self.threads[tid as usize]
+                    .frames
+                    .pop()
+                    .expect("ret needs a frame");
+                let core = self.threads[tid as usize].core;
+                if self.threads[tid as usize].frames.is_empty() {
+                    let seq = self.next_seq();
+                    self.emit(
+                        observers,
+                        Event::Return {
+                            seq,
+                            tid,
+                            core,
+                            iid,
+                            to: None,
+                        },
+                    );
+                    return Exec::Exited;
+                }
+                if let (Some(dst), Some(v)) = (frame.ret_dst, rv) {
+                    self.set_var(tid, dst, v);
+                }
+                let to = Some(self.current_stmt(tid));
+                let seq = self.next_seq();
+                self.emit(
+                    observers,
+                    Event::Return {
+                        seq,
+                        tid,
+                        core,
+                        iid,
+                        to,
+                    },
+                );
+                Exec::Jumped
+            }
+            COp::Unreachable => Exec::Fail(FailureKind::UnreachableExecuted),
         }
     }
 
@@ -713,15 +853,15 @@ impl<'p> Vm<'p> {
         &mut self,
         tid: u32,
         iid: InstrId,
-        dst: Option<VarId>,
+        dst: Option<u32>,
         kind: gist_ir::IntrinsicKind,
-        args: &[Operand],
+        args: &[Slot],
         observers: &mut [&mut dyn Observer],
     ) -> Exec {
         use gist_ir::IntrinsicKind as I;
         match kind {
             I::Strlen => {
-                let p = args.first().map(|&a| self.eval(tid, a)).unwrap_or(0) as u64;
+                let p = args.first().map(|&a| self.val(tid, a)).unwrap_or(0) as u64;
                 let mut len = 0u64;
                 loop {
                     match self.mem.load(p + len) {
@@ -739,14 +879,14 @@ impl<'p> Vm<'p> {
                     }
                 }
                 if let Some(d) = dst {
-                    self.set_var(tid, d, len as Value);
+                    self.set_slot(tid, d, len as Value);
                 }
                 Exec::Continue
             }
             I::Memset => {
-                let p = args.first().map(|&a| self.eval(tid, a)).unwrap_or(0) as u64;
-                let v = args.get(1).map(|&a| self.eval(tid, a)).unwrap_or(0);
-                let n = args.get(2).map(|&a| self.eval(tid, a)).unwrap_or(0).max(0) as u64;
+                let p = args.first().map(|&a| self.val(tid, a)).unwrap_or(0) as u64;
+                let v = args.get(1).map(|&a| self.val(tid, a)).unwrap_or(0);
+                let n = args.get(2).map(|&a| self.val(tid, a)).unwrap_or(0).max(0) as u64;
                 for i in 0..n {
                     if let Err(k) = self.mem.store(p + i, v) {
                         return Exec::Fail(k);
@@ -756,14 +896,14 @@ impl<'p> Vm<'p> {
                     self.emit_mem(observers, tid, iid, AccessKind::Write, p, v);
                 }
                 if let Some(d) = dst {
-                    self.set_var(tid, d, p as Value);
+                    self.set_slot(tid, d, p as Value);
                 }
                 Exec::Continue
             }
             I::Memcpy => {
-                let d = args.first().map(|&a| self.eval(tid, a)).unwrap_or(0) as u64;
-                let s = args.get(1).map(|&a| self.eval(tid, a)).unwrap_or(0) as u64;
-                let n = args.get(2).map(|&a| self.eval(tid, a)).unwrap_or(0).max(0) as u64;
+                let d = args.first().map(|&a| self.val(tid, a)).unwrap_or(0) as u64;
+                let s = args.get(1).map(|&a| self.val(tid, a)).unwrap_or(0) as u64;
+                let n = args.get(2).map(|&a| self.val(tid, a)).unwrap_or(0).max(0) as u64;
                 for i in 0..n {
                     let v = match self.mem.load(s + i) {
                         Ok(v) => v,
@@ -777,59 +917,60 @@ impl<'p> Vm<'p> {
                     self.emit_mem(observers, tid, iid, AccessKind::Write, d, 0);
                 }
                 if let Some(dv) = dst {
-                    self.set_var(tid, dv, d as Value);
+                    self.set_slot(tid, dv, d as Value);
                 }
                 Exec::Continue
             }
         }
     }
 
-    fn resolve_callee(&self, tid: u32, callee: &Callee) -> Result<FuncId, FailureKind> {
+    /// Resolves a call target to a dense function index.
+    fn resolve_callee(
+        &self,
+        comp: &CompiledProgram,
+        tid: u32,
+        callee: CCallee,
+    ) -> Result<usize, FailureKind> {
         match callee {
-            Callee::Direct(f) => Ok(*f),
-            Callee::Indirect(op) => {
-                let v = self.eval(tid, *op);
+            CCallee::Direct(f) => Ok(f as usize),
+            CCallee::Indirect(slot) => {
+                let v = self.val(tid, slot);
                 let idx = v - Program::FUNC_ADDR_BASE;
-                if v < Program::FUNC_ADDR_BASE || idx as usize >= self.program.functions.len() {
+                if v < Program::FUNC_ADDR_BASE || idx as usize >= comp.funcs.len() {
                     return Err(FailureKind::SegFault { addr: v as u64 });
                 }
-                Ok(FuncId(idx as u32))
+                Ok(idx as usize)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_call(
         &mut self,
+        comp: &CompiledProgram,
         tid: u32,
         iid: InstrId,
-        dst: Option<VarId>,
-        callee: &Callee,
-        args: &[Operand],
+        dst: Option<u32>,
+        callee: CCallee,
+        args: &[Slot],
         observers: &mut [&mut dyn Observer],
     ) -> Exec {
-        let target = match self.resolve_callee(tid, callee) {
+        let target = match self.resolve_callee(comp, tid, callee) {
             Ok(f) => f,
             Err(k) => return Exec::Fail(k),
         };
-        let argv: Vec<Value> = args.iter().map(|&a| self.eval(tid, a)).collect();
+        let argv: Vec<Value> = args.iter().map(|&a| self.val(tid, a)).collect();
         // Advance past the call before pushing, so `ret` resumes after it.
-        self.threads[tid as usize].top_mut().index += 1;
-        let nvars = self.program.function(target).num_vars();
-        let mut frame = Frame::new(target, nvars, &argv);
-        frame.ret_dst = dst;
+        self.threads[tid as usize].top_mut().pc += 1;
+        let nvars = comp.funcs[target].num_vars;
+        let mut frame = Frame::new(FuncId(target as u32), nvars, &argv);
+        frame.ret_dst = dst.map(VarId);
         frame.callsite = Some(iid);
         self.threads[tid as usize].frames.push(frame);
         let core = self.threads[tid as usize].core;
-        if matches!(callee, Callee::Indirect(_)) {
+        if matches!(callee, CCallee::Indirect(_)) {
             self.indirect_transfers += 1;
-            let entry_block = self.program.function(target).entry();
-            let entry_stmt = {
-                let b = self.program.function(target).block(entry_block);
-                b.instrs
-                    .first()
-                    .map(|i| i.id)
-                    .unwrap_or_else(|| b.term.id())
-            };
+            let entry_stmt = comp.funcs[target].entry_stmt;
             let seq = self.next_seq();
             self.emit(
                 observers,
@@ -849,91 +990,10 @@ impl<'p> Vm<'p> {
                 seq,
                 tid,
                 core,
-                func: target,
+                func: FuncId(target as u32),
             },
         );
         Exec::Jumped
-    }
-
-    fn exec_term(
-        &mut self,
-        tid: u32,
-        term: &Terminator,
-        observers: &mut [&mut dyn Observer],
-    ) -> Exec {
-        match term {
-            Terminator::Br { target, .. } => {
-                let f = self.threads[tid as usize].top_mut();
-                f.block = *target;
-                f.index = 0;
-                Exec::Jumped
-            }
-            Terminator::CondBr {
-                id,
-                cond,
-                then_bb,
-                else_bb,
-                ..
-            } => {
-                let taken = self.eval(tid, *cond) != 0;
-                self.branches += 1;
-                let core = self.threads[tid as usize].core;
-                let seq = self.next_seq();
-                self.emit(
-                    observers,
-                    Event::Branch {
-                        seq,
-                        tid,
-                        core,
-                        iid: *id,
-                        taken,
-                    },
-                );
-                let f = self.threads[tid as usize].top_mut();
-                f.block = if taken { *then_bb } else { *else_bb };
-                f.index = 0;
-                Exec::Jumped
-            }
-            Terminator::Ret { id, value, .. } => {
-                let rv = value.map(|v| self.eval(tid, v));
-                let frame = self.threads[tid as usize]
-                    .frames
-                    .pop()
-                    .expect("ret needs a frame");
-                let core = self.threads[tid as usize].core;
-                if self.threads[tid as usize].frames.is_empty() {
-                    let seq = self.next_seq();
-                    self.emit(
-                        observers,
-                        Event::Return {
-                            seq,
-                            tid,
-                            core,
-                            iid: *id,
-                            to: None,
-                        },
-                    );
-                    return Exec::Exited;
-                }
-                if let (Some(dst), Some(v)) = (frame.ret_dst, rv) {
-                    self.set_var(tid, dst, v);
-                }
-                let to = Some(self.current_stmt(tid));
-                let seq = self.next_seq();
-                self.emit(
-                    observers,
-                    Event::Return {
-                        seq,
-                        tid,
-                        core,
-                        iid: *id,
-                        to,
-                    },
-                );
-                Exec::Jumped
-            }
-            Terminator::Unreachable { .. } => Exec::Fail(FailureKind::UnreachableExecuted),
-        }
     }
 
     fn wake_mutex_waiters(&mut self, addr: u64) {
@@ -1427,5 +1487,39 @@ entry:
         let r = run_text("fn main() {\nentry:\n  x = const 1\n  print x\n  y = load 0\n  ret\n}\n");
         assert!(r.outcome.failure().is_some());
         assert_eq!(r.output, vec![1]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_behaviorally_identical() {
+        let text = r#"
+global x = 3
+fn main() {
+entry:
+  p = alloc 4
+  store p, 11
+  v = load p
+  w = load $x
+  s = add v, w
+  print s
+  free p
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let compiled = CompiledProgram::shared(&p);
+        let mut scratch = VmScratch::default();
+        for _ in 0..3 {
+            let mut vm = Vm::with_scratch(&p, Arc::clone(&compiled), VmConfig::default(), scratch);
+            let mut log = EventLog::default();
+            let r = vm.run(&mut [&mut log]);
+            assert_eq!(r.outcome, RunOutcome::Finished);
+            assert_eq!(r.output, vec![14]);
+            scratch = vm.into_scratch();
+
+            let mut fresh_log = EventLog::default();
+            let fr = Vm::new(&p, VmConfig::default()).run(&mut [&mut fresh_log]);
+            assert_eq!(fr.output, r.output);
+            assert_eq!(fresh_log.events, log.events, "scratch must not leak state");
+        }
     }
 }

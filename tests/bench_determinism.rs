@@ -1,13 +1,23 @@
 //! The bench report's determinism contract: the `deterministic` section
 //! (per-bug rows + counter/histogram snapshot) must be byte-identical
-//! across same-seed runs. Timers are wall-clock and live in the separate
-//! `timing` section, which is deliberately not compared.
+//! across same-seed runs. Timers and throughput are wall-clock derived and
+//! live in separate sections, which are deliberately not compared — but
+//! the `throughput` section's *shape* is part of the report schema, so its
+//! keys are asserted here.
 //!
 //! One `#[test]` in its own integration binary: the bench resets and reads
 //! the process-global metrics registry, so it cannot share a process with
 //! other metric-producing tests.
 
-use gist_bench::bench_report;
+use gist_bench::bench_report::{self, THROUGHPUT_BATCHES};
+use gist_obs::json::Json;
+
+fn obj_get<'a>(v: &'a Json, key: &str) -> Option<&'a Json> {
+    match v {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
 
 #[test]
 fn deterministic_section_is_byte_identical_across_runs() {
@@ -23,4 +33,27 @@ fn deterministic_section_is_byte_identical_across_runs() {
         second.deterministic_json(),
         "counters and histograms must be identical under fixed seeds"
     );
+
+    // The report must carry a `throughput` section with headline rates and
+    // one batch-scaling row per arm.
+    let report = first.to_value();
+    let throughput = obj_get(&report, "throughput").expect("report has a throughput section");
+    for key in ["runs_per_arm", "runs_per_sec", "instrs_per_sec"] {
+        assert!(
+            obj_get(throughput, key).is_some(),
+            "throughput section has `{key}`"
+        );
+    }
+    let scaling = obj_get(throughput, "batch_scaling").expect("throughput has `batch_scaling`");
+    for batch in THROUGHPUT_BATCHES {
+        let arm = obj_get(scaling, &batch.to_string())
+            .unwrap_or_else(|| panic!("batch_scaling has a batch={batch} arm"));
+        for key in ["runs_per_sec", "instrs_per_sec", "speedup_vs_batch1"] {
+            assert!(obj_get(arm, key).is_some(), "batch={batch} arm has `{key}`");
+        }
+        match obj_get(arm, "runs_per_sec") {
+            Some(Json::F64(r)) => assert!(*r > 0.0, "batch={batch} measured a positive rate"),
+            other => panic!("batch={batch} runs_per_sec is an F64, got {other:?}"),
+        }
+    }
 }

@@ -1,0 +1,109 @@
+//! Differential test: the precompiled execution engine against the legacy
+//! tree-walking interpreter.
+//!
+//! The compiled engine (`gist_vm::Vm`) replaced the tree-walk interpreter
+//! on the hot path; the old engine is kept behind the `treewalk` feature
+//! as the semantic oracle. For every bugbase program and a spread of
+//! scheduler seeds (including a seed where the bug manifests), both
+//! engines must produce identical run results, identical observer event
+//! streams, and — through a full `TrackerRuntime` with a planned patch —
+//! identical watchpoint hits and decoded traces.
+
+use gist_bugbase::all_bugs;
+use gist_slicing::StaticSlicer;
+use gist_tracking::{InstrumentationPatch, Planner, RunTrace, TrackerRuntime};
+use gist_vm::event::EventLog;
+use gist_vm::{RunResult, TreeWalkVm, Vm};
+
+fn planned_patch(bug: &gist_bugbase::BugSpec) -> InstrumentationPatch {
+    let (_, report) = bug.find_failure(2_000).expect("bug manifests");
+    let slicer = StaticSlicer::new(&bug.program);
+    let slice = slicer.compute(report.failing_stmt);
+    let planner = Planner::new(&bug.program, slicer.ticfg());
+    planner.plan(slice.prefix(8), 0)
+}
+
+/// One engine run: result, observed event stream, and the tracker's view
+/// (watchpoint hits, decoded control flow, discovered statements).
+fn run_compiled(
+    bug: &gist_bugbase::BugSpec,
+    patch: &InstrumentationPatch,
+    seed: u64,
+) -> (RunResult, EventLog, RunTrace) {
+    let cfg = bug.vm_config(seed);
+    let num_cores = cfg.num_cores;
+    let mut log = EventLog::default();
+    let mut tracker = TrackerRuntime::new(&bug.program, patch.clone(), num_cores);
+    let mut vm = Vm::new(&bug.program, cfg);
+    let result = vm.run(&mut [&mut log, &mut tracker]);
+    (result, log, tracker.finish())
+}
+
+fn run_treewalk(
+    bug: &gist_bugbase::BugSpec,
+    patch: &InstrumentationPatch,
+    seed: u64,
+) -> (RunResult, EventLog, RunTrace) {
+    let cfg = bug.vm_config(seed);
+    let num_cores = cfg.num_cores;
+    let mut log = EventLog::default();
+    let mut tracker = TrackerRuntime::new(&bug.program, patch.clone(), num_cores);
+    let mut vm = TreeWalkVm::new(&bug.program, cfg);
+    let result = vm.run(&mut [&mut log, &mut tracker]);
+    (result, log, tracker.finish())
+}
+
+#[test]
+fn engines_agree_on_every_bug() {
+    for bug in all_bugs() {
+        let patch = planned_patch(&bug);
+        let (failing_seed, _) = bug.find_failure(2_000).expect("bug manifests");
+        // A spread of schedules plus one that provably fails; dedup keeps
+        // the failing seed from running twice when it is already below 4.
+        let mut seeds = vec![0, 1, 2, 3, failing_seed];
+        seeds.dedup();
+        for seed in seeds {
+            let (res_c, log_c, trace_c) = run_compiled(&bug, &patch, seed);
+            let (res_t, log_t, trace_t) = run_treewalk(&bug, &patch, seed);
+            // RunResult and RunTrace hold floats/maps-free plain data;
+            // Debug rendering is a total, field-exhaustive comparison that
+            // keeps this test independent of PartialEq coverage.
+            assert_eq!(
+                format!("{res_c:?}"),
+                format!("{res_t:?}"),
+                "{} seed {seed}: run results diverge",
+                bug.name
+            );
+            assert_eq!(
+                log_c.events.len(),
+                log_t.events.len(),
+                "{} seed {seed}: event counts diverge",
+                bug.name
+            );
+            for (i, (ec, et)) in log_c.events.iter().zip(log_t.events.iter()).enumerate() {
+                assert_eq!(ec, et, "{} seed {seed}: event {i} diverges", bug.name);
+            }
+            assert_eq!(
+                format!("{:?}", trace_c.hits),
+                format!("{:?}", trace_t.hits),
+                "{} seed {seed}: watchpoint hits diverge",
+                bug.name
+            );
+            assert_eq!(
+                trace_c.decoded, trace_t.decoded,
+                "{} seed {seed}: decoded traces diverge",
+                bug.name
+            );
+            assert_eq!(
+                trace_c.executed_tracked, trace_t.executed_tracked,
+                "{} seed {seed}: executed tracked sets diverge",
+                bug.name
+            );
+            assert_eq!(
+                trace_c.discovered, trace_t.discovered,
+                "{} seed {seed}: discovered sets diverge",
+                bug.name
+            );
+        }
+    }
+}

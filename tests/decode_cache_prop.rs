@@ -1,0 +1,120 @@
+//! Property test: the cross-run PT decode cache is output-invisible.
+//!
+//! For arbitrary packet streams — well-formed or not, with OVF packets,
+//! mid-stream PSB resyncs, and arbitrary byte truncation — decoding
+//! through a [`DecodeCache`] must produce exactly the same `Result` as a
+//! cache-cold decode. One cache instance is shared across *all* generated
+//! cases, so entries inserted by earlier cases are live (and must be
+//! correctly rejected or replayed) for later ones, exercising both the
+//! hit-verification path and cross-stream collisions.
+
+use bytes::BytesMut;
+use gist_ir::parser::parse_program;
+use gist_ir::{InstrId, Program};
+use gist_pt::{decode, decode_with_cache, DecodeCache, Packet};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small program with loops, calls, and indirect transfers, so generated
+/// `ip` payloads land on real statements of every flavor.
+fn program() -> &'static Program {
+    static P: OnceLock<Program> = OnceLock::new();
+    P.get_or_init(|| {
+        parse_program(
+            "prop",
+            r#"
+fn inc(x) {
+entry:
+  y = add x, 1
+  ret y
+}
+fn main() {
+entry:
+  n = const 3
+  f = funcaddr inc
+  br head
+head:
+  c = cmp gt n, 0
+  condbr c, body, exit
+body:
+  n = sub n, 1
+  m = icall f(n)
+  br head
+exit:
+  print n
+  ret
+}
+"#,
+        )
+        .expect("valid program")
+    })
+}
+
+fn shared_cache() -> &'static DecodeCache {
+    static C: OnceLock<DecodeCache> = OnceLock::new();
+    C.get_or_init(DecodeCache::new)
+}
+
+/// Any statement id in range, plus a few out-of-range ones so desync
+/// errors are exercised too.
+fn arb_ip(stmt_count: usize) -> impl Strategy<Value = InstrId> {
+    (0..stmt_count as u32 + 3).prop_map(InstrId)
+}
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    (0u32..2).prop_map(|b| b == 1)
+}
+
+fn arb_packet(stmt_count: usize) -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        Just(Packet::Psb),
+        (0u32..3).prop_map(|tid| Packet::Pip { tid }),
+        arb_ip(stmt_count).prop_map(|ip| Packet::Pge { ip }),
+        arb_ip(stmt_count).prop_map(|ip| Packet::Pgd { ip }),
+        proptest::collection::vec(arb_bool(), 1..7).prop_map(|bits| Packet::Tnt { bits }),
+        arb_ip(stmt_count).prop_map(|ip| Packet::Tip { ip }),
+        arb_ip(stmt_count).prop_map(|ip| Packet::Fup { ip }),
+        Just(Packet::Ovf),
+    ]
+}
+
+/// One core's stream: encoded packets, optionally truncated mid-packet
+/// (what a real OVF/wrap does to the tail of a ring buffer).
+fn arb_core_bytes(stmt_count: usize) -> impl Strategy<Value = Vec<u8>> {
+    (
+        proptest::collection::vec(arb_packet(stmt_count), 0..24),
+        0usize..4096,
+        arb_bool(),
+    )
+        .prop_map(|(packets, cut, truncate)| {
+            let mut buf = BytesMut::new();
+            for p in &packets {
+                p.encode(&mut buf);
+            }
+            let mut bytes = buf.into_vec();
+            if truncate && !bytes.is_empty() {
+                bytes.truncate(cut % bytes.len());
+            }
+            bytes
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Cached decode equals cold decode — same `Ok` trace or same `Err` —
+    /// and a repeat decode (now hitting entries the first pass inserted)
+    /// still equals both.
+    #[test]
+    fn cached_decode_equals_cold_decode(
+        cores in proptest::collection::vec(arb_core_bytes(program().stmt_count()), 1..4),
+    ) {
+        let p = program();
+        let cache = shared_cache();
+        let cold = decode(p, &cores);
+        let first = decode_with_cache(p, &cores, cache);
+        prop_assert_eq!(&cold, &first, "cold vs cache-miss decode");
+        let second = decode_with_cache(p, &cores, cache);
+        prop_assert_eq!(&cold, &second, "cold vs cache-hit decode");
+    }
+}

@@ -186,9 +186,22 @@ impl BytesMut {
         self.data.clone()
     }
 
+    /// Consumes the buffer, returning its backing `Vec` without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
     /// Drops all contents.
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    /// Adopts a `Vec` as the backing storage without copying (pairs with
+    /// [`BytesMut::into_vec`] for buffer recycling).
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
     }
 }
 
