@@ -41,6 +41,11 @@ pub struct BenchReport {
     pub throughput: Json,
     /// Wall-clock timings; informational only.
     pub timing: Json,
+    /// The flight-recorder journal of the deterministic section, as JSONL
+    /// (`JOURNAL_gist.jsonl`). Drained *before* the throughput section runs,
+    /// so it covers only the sequential (batch=1) diagnoses and is
+    /// byte-identical across same-seed runs. Empty under `metrics-off`.
+    pub journal: String,
 }
 
 impl BenchReport {
@@ -226,6 +231,19 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
         ("bugs".into(), Json::Obj(rows)),
         ("metrics".into(), snapshot.deterministic_value()),
     ]);
+    // Drain the journal before the throughput section: its batch>1 arms
+    // record events from racing worker threads, which must not leak into
+    // the deterministic JSONL. The drain cost is part of the journal's
+    // overhead story, so it is timed and reported.
+    let t_drain = Instant::now();
+    let events = gist_obs::journal::drain();
+    let journal = gist_obs::journal::to_jsonl(&events);
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    let journal_overhead = Json::Obj(vec![
+        ("events_recorded".into(), Json::U64(events.len() as u64)),
+        ("bytes_written".into(), Json::U64(journal.len() as u64)),
+        ("drain_ms".into(), Json::F64(drain_ms)),
+    ]);
 
     let arms = fleet_throughput(THROUGHPUT_RUNS, &THROUGHPUT_BATCHES);
     let throughput = throughput_value(&arms);
@@ -236,6 +254,7 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
         ),
         ("per_bug_ms".into(), Json::Obj(wall)),
         ("spans".into(), snapshot.timers_value()),
+        ("journal".into(), journal_overhead),
         (
             "metrics_feature".into(),
             Json::Str(
@@ -254,6 +273,7 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
             deterministic,
             throughput,
             timing,
+            journal,
         },
         evals,
     )

@@ -1,0 +1,132 @@
+//! `gist-trace` — explorer for flight-recorder journals.
+//!
+//! ```text
+//! gist-trace summary [journal]              # totals, kinds, traces
+//! gist-trace grep <event-kind> [journal]    # events of a kind (or layer)
+//! gist-trace explain <bug> <step> [journal] # a sketch step's provenance
+//! gist-trace export --chrome [journal] [-o out.json]
+//! ```
+//!
+//! `journal` defaults to `JOURNAL_gist.jsonl` (what `repro -- bench`
+//! writes next to `BENCH_gist.json`). `explain` accepts either a trace
+//! label or any substring of it — bug names like `pbzip2-1` work because
+//! the bench titles traces `Failure Sketch for <display>`.
+//!
+//! Exit status: 0 ok, 1 lookup failure (unknown trace/step/kind produced
+//! nothing), 2 usage or parse error.
+
+use gist_bench::trace_tool::{chrome_json, Journal};
+
+const DEFAULT_JOURNAL: &str = "JOURNAL_gist.jsonl";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gist-trace summary [journal]\n  gist-trace grep <event-kind> [journal]\n  gist-trace explain <bug> <step> [journal]\n  gist-trace export --chrome [journal] [-o out.json]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Journal {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read journal {path}: {e} (run `repro -- bench` first?)");
+            std::process::exit(2);
+        }
+    };
+    match Journal::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Maps a bug short name to the trace label the bench uses; a label (or
+/// substring) passes through untouched.
+fn explain_label(journal: &Journal, arg: &str) -> String {
+    if journal.trace_by_label(arg).is_some() {
+        return arg.to_owned();
+    }
+    match gist_bugbase::bug_by_name(arg) {
+        Some(bug) => format!("Failure Sketch for {}", bug.display),
+        None => arg.to_owned(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    match cmd {
+        "summary" => {
+            let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_JOURNAL);
+            print!("{}", load(path).summary_text());
+        }
+        "grep" => {
+            let Some(kind) = args.get(1) else { usage() };
+            let path = args.get(2).map(String::as_str).unwrap_or(DEFAULT_JOURNAL);
+            let out = load(path).grep_text(kind);
+            if out.is_empty() {
+                eprintln!("no `{kind}` events in {path}");
+                std::process::exit(1);
+            }
+            print!("{out}");
+        }
+        "explain" => {
+            let (Some(bug), Some(step)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let Ok(step) = step.parse::<u64>() else {
+                usage()
+            };
+            let path = args.get(3).map(String::as_str).unwrap_or(DEFAULT_JOURNAL);
+            let journal = load(path);
+            let label = explain_label(&journal, bug);
+            match journal.explain_step(&label, step) {
+                Ok(lines) => {
+                    for l in lines {
+                        println!("{l}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "export" => {
+            // `--chrome` is the only format; tolerate its position.
+            let rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+            if !rest.contains(&"--chrome") {
+                usage()
+            }
+            let mut out_path: Option<&str> = None;
+            let mut journal_path = DEFAULT_JOURNAL;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--chrome" => {}
+                    "-o" | "--out" => {
+                        i += 1;
+                        out_path = rest.get(i).copied().or_else(|| usage());
+                    }
+                    p => journal_path = p,
+                }
+                i += 1;
+            }
+            let json = chrome_json(&load(journal_path));
+            match out_path {
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &json) {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {p} ({} bytes)", json.len());
+                }
+                None => print!("{json}"),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -14,8 +14,10 @@
 //! repro dataflow            # alias-aware slicing x dead-store pruning
 //! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
+//!   ... sketch <bug> --explain   # + provenance chains from the journal
 //! repro bugs                # list bug names
 //! repro bench               # full-bugbase perf run -> BENCH_gist.json
+//!                           #   + flight recorder -> JOURNAL_gist.jsonl
 //! ```
 //!
 //! `table1`, `fig9`, `all`, and `bench` exit non-zero when any bug's sketch
@@ -49,7 +51,13 @@ fn main() {
         "bugs" => bugs(),
         "sketch" => {
             let name = args.get(1).map(String::as_str).unwrap_or("pbzip2-1");
-            match experiments::sketch_for(name) {
+            let explain = args.iter().any(|a| a == "--explain");
+            let rendered = if explain {
+                experiments::sketch_for_explained(name)
+            } else {
+                experiments::sketch_for(name)
+            };
+            match rendered {
                 Some(s) => println!("{s}"),
                 None => {
                     eprintln!("unknown bug '{name}'; try `repro bugs`");
@@ -116,7 +124,23 @@ fn bench(out: Option<&str>) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {path} ({} bugs)", evals.len());
+    // The flight-recorder journal rides along next to the report, named
+    // after it (`BENCH_gist.json` -> `JOURNAL_gist.jsonl`); explore it
+    // with `gist-trace summary|grep|explain|export`.
+    let journal_path = if path == "BENCH_gist.json" {
+        "JOURNAL_gist.jsonl".to_owned()
+    } else {
+        format!("{path}.journal.jsonl")
+    };
+    if let Err(e) = std::fs::write(&journal_path, &report.journal) {
+        eprintln!("cannot write {journal_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path} ({} bugs) + {journal_path} ({} bytes)",
+        evals.len(),
+        report.journal.len()
+    );
     gate_accuracy(&evals);
 }
 

@@ -278,6 +278,29 @@ pub fn sketch_for(name: &str) -> Option<String> {
     Some(eval.sketch.render())
 }
 
+/// Renders a bug's failure sketch with its provenance chains resolved
+/// against the diagnosis's own flight-recorder journal (`repro -- sketch
+/// <bug> --explain`). The journal is reset first so the explain output
+/// covers exactly this diagnosis.
+pub fn sketch_for_explained(name: &str) -> Option<String> {
+    let bug = bug_by_name(name)?;
+    gist_obs::reset();
+    let eval = diagnose_bug(&bug, &EvalConfig::default());
+    let journal = crate::trace_tool::Journal::from_events(gist_obs::journal::to_events(
+        &gist_obs::journal::drain(),
+    ));
+    let resolve = |seq: u64| {
+        journal.event_by_seq(seq).map(|e| {
+            // `event_line` leads with `#seq t<tid>`, but `render_explain`
+            // already prints the seq for each chain entry — drop the
+            // duplicate prefix and keep `kind k=v ...`.
+            let line = crate::trace_tool::Journal::event_line(e);
+            line.splitn(3, ' ').nth(2).unwrap_or(&line).to_owned()
+        })
+    };
+    Some(gist_sketch::render::render_explain(&eval.sketch, &resolve))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,7 @@ pub mod expectations;
 pub mod experiments;
 pub mod format;
 pub mod races;
+pub mod trace_tool;
 
 pub use experiments::{
     fig10, fig11, fig12, fig13, overhead_sigma2, sketch_for, swtrace_rows, table1, Fig10Row,

@@ -1,0 +1,358 @@
+//! Journal exploration shared by the `gist-trace` binary and the
+//! `--explain` render mode: load a JSONL journal, summarize it, grep by
+//! event kind, and resolve sketch-step provenance chains.
+
+use std::collections::BTreeMap;
+
+use gist_obs::json::Json;
+use gist_obs::JournalEvent;
+
+/// A loaded flight-recorder journal.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    /// Events in seq order (the JSONL line order).
+    pub events: Vec<JournalEvent>,
+}
+
+impl Journal {
+    /// Parses a JSONL journal (the content of `JOURNAL_gist.jsonl`).
+    pub fn parse(text: &str) -> Result<Journal, String> {
+        Ok(Journal {
+            events: gist_obs::journal::parse_jsonl(text)?,
+        })
+    }
+
+    /// Wraps already-drained events (the in-process path used by
+    /// `repro -- sketch <bug> --explain`).
+    pub fn from_events(events: Vec<JournalEvent>) -> Journal {
+        Journal { events }
+    }
+
+    /// The event with the given seq-no, if journaled.
+    pub fn event_by_seq(&self, seq: u64) -> Option<&JournalEvent> {
+        // Events are sorted by seq (drain sorts; JSONL preserves).
+        self.events
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
+            .map(|i| &self.events[i])
+    }
+
+    /// One-line human rendering of an event: `#seq kind k=v k=v` with the
+    /// payload members in their canonical order.
+    pub fn event_line(e: &JournalEvent) -> String {
+        let mut out = format!("#{} t{} {}", e.seq, e.tid, e.kind);
+        if let Json::Obj(members) = &e.data {
+            for (k, v) in members {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(&v.render());
+            }
+        }
+        out
+    }
+
+    /// Per-kind event counts, sorted by kind name.
+    pub fn kind_counts(&self) -> BTreeMap<&str, u64> {
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.kind.as_str()).or_default() += 1;
+        }
+        counts
+    }
+
+    /// Diagnosis traces in the journal: `(trace_id, label)` from each
+    /// `trace.start` event, in seq order.
+    pub fn traces(&self) -> Vec<(u64, String)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == "trace.start")
+            .map(|e| (e.trace, e.field_str("label").unwrap_or("").to_owned()))
+            .collect()
+    }
+
+    /// The trace id whose `trace.start` label contains `needle` (exact
+    /// match wins over substring).
+    pub fn trace_by_label(&self, needle: &str) -> Option<u64> {
+        let traces = self.traces();
+        traces
+            .iter()
+            .find(|(_, l)| l == needle)
+            .or_else(|| traces.iter().find(|(_, l)| l.contains(needle)))
+            .map(|&(id, _)| id)
+    }
+
+    /// The *final* sketch of a trace: the sketch is rebuilt (and its steps
+    /// re-journaled) every AsT iteration, so per step number keep only the
+    /// last `sketch.step` event. Returned in step order.
+    pub fn final_steps(&self, trace: u64) -> Vec<&JournalEvent> {
+        let mut by_step: BTreeMap<u64, &JournalEvent> = BTreeMap::new();
+        let mut last_first_step = 0u64;
+        for e in &self.events {
+            if e.trace != trace || e.kind != "sketch.step" {
+                continue;
+            }
+            let step = e.field_u64("step").unwrap_or(0);
+            // A new rebuild starts when the step counter resets; later
+            // rebuilds may have *fewer* steps (pruning), so clear stale
+            // higher-numbered steps from the previous build.
+            if step <= last_first_step {
+                by_step.clear();
+            }
+            if by_step.is_empty() {
+                last_first_step = step;
+            }
+            by_step.insert(step, e);
+        }
+        by_step.into_values().collect()
+    }
+
+    /// Resolves one sketch step's provenance chain: the `explain` lines
+    /// for step `step` of the trace labeled `label`.
+    pub fn explain_step(&self, label: &str, step: u64) -> Result<Vec<String>, String> {
+        let trace = self
+            .trace_by_label(label)
+            .ok_or_else(|| format!("no trace labeled like `{label}` in journal"))?;
+        let steps = self.final_steps(trace);
+        let ev = steps
+            .iter()
+            .find(|e| e.field_u64("step") == Some(step))
+            .ok_or_else(|| {
+                format!(
+                    "trace {trace} has no sketch step {step} (has {})",
+                    steps.len()
+                )
+            })?;
+        let mut out = vec![Self::event_line(ev)];
+        let chain = match ev.field("provenance") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|v| match v {
+                    Json::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        if chain.is_empty() {
+            return Err(format!("sketch step {step} has an empty provenance chain"));
+        }
+        for seq in chain {
+            match self.event_by_seq(seq) {
+                Some(e) => out.push(format!("  <- {}", Self::event_line(e))),
+                None => out.push(format!("  <- #{seq} <unresolved>")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// `gist-trace summary`: totals, per-kind counts, and the traces with
+    /// their iteration/recurrence outcomes.
+    pub fn summary_text(&self) -> String {
+        let mut out = format!("{} events\n", self.events.len());
+        out.push_str("\nevents by kind:\n");
+        for (kind, n) in self.kind_counts() {
+            out.push_str(&format!("  {kind:<18} {n}\n"));
+        }
+        out.push_str("\ntraces:\n");
+        for (id, label) in self.traces() {
+            let finish = self
+                .events
+                .iter()
+                .find(|e| e.trace == id && e.kind == "trace.finish");
+            let outcome = finish.map_or_else(
+                || "(unfinished)".to_owned(),
+                |e| {
+                    format!(
+                        "iterations={} recurrences={}",
+                        e.field_u64("iterations").unwrap_or(0),
+                        e.field_u64("recurrences").unwrap_or(0),
+                    )
+                },
+            );
+            let steps = self.final_steps(id).len();
+            out.push_str(&format!(
+                "  trace {id}: {label:?} {outcome} sketch_steps={steps}\n"
+            ));
+        }
+        out
+    }
+
+    /// `gist-trace grep <kind>`: event lines whose kind equals `kind` or
+    /// starts with `kind.` (so `watch` matches `watch.hit`/`watch.armed`).
+    pub fn grep_text(&self, kind: &str) -> String {
+        let prefix = format!("{kind}.");
+        let mut out = String::new();
+        for e in &self.events {
+            if e.kind == kind || e.kind.starts_with(&prefix) {
+                out.push_str(&Self::event_line(e));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The deterministic digest used for golden-journal snapshots: kind
+    /// counts, trace structure, and every final sketch step's provenance
+    /// chain *resolved to event kinds* (seq-nos are deterministic too, but
+    /// kinds survive unrelated instrumentation churn, keeping the golden
+    /// focused on provenance shape).
+    pub fn digest(&self) -> String {
+        let mut out = String::from("kinds:\n");
+        for (kind, n) in self.kind_counts() {
+            out.push_str(&format!("  {kind} {n}\n"));
+        }
+        for (id, label) in self.traces() {
+            out.push_str(&format!("trace {id} {label:?}:\n"));
+            for ev in self.final_steps(id) {
+                let step = ev.field_u64("step").unwrap_or(0);
+                let iid = ev.field_u64("iid").unwrap_or(0);
+                let chain: Vec<&str> = match ev.field("provenance") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .filter_map(|v| match v {
+                            Json::U64(n) => {
+                                Some(self.event_by_seq(*n).map_or("<missing>", |e| &e.kind))
+                            }
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                out.push_str(&format!(
+                    "  step {step} iid={iid} via [{}]\n",
+                    chain.join(", ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Renders journal events as Chrome trace JSON (`gist-trace export
+/// --chrome` and the CI artifact).
+pub fn chrome_json(journal: &Journal) -> String {
+    gist_obs::journal::chrome_trace(&journal.events).pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Journal {
+        let mk = |seq, trace, kind: &str, data: Json| JournalEvent {
+            seq,
+            trace,
+            tid: 0,
+            kind: kind.into(),
+            data,
+        };
+        Journal::from_events(vec![
+            mk(
+                1,
+                1,
+                "trace.start",
+                Json::Obj(vec![("label".into(), Json::Str("Sketch for x".into()))]),
+            ),
+            mk(
+                2,
+                1,
+                "slice.computed",
+                Json::Obj(vec![("criterion".into(), Json::U64(7))]),
+            ),
+            mk(
+                3,
+                1,
+                "watch.hit",
+                Json::Obj(vec![("iid".into(), Json::U64(5))]),
+            ),
+            // First sketch build: two steps.
+            mk(
+                4,
+                1,
+                "sketch.step",
+                Json::Obj(vec![
+                    ("step".into(), Json::U64(1)),
+                    ("iid".into(), Json::U64(5)),
+                    (
+                        "provenance".into(),
+                        Json::Arr(vec![Json::U64(3), Json::U64(2)]),
+                    ),
+                ]),
+            ),
+            mk(
+                5,
+                1,
+                "sketch.step",
+                Json::Obj(vec![
+                    ("step".into(), Json::U64(2)),
+                    ("iid".into(), Json::U64(7)),
+                    ("provenance".into(), Json::Arr(vec![Json::U64(2)])),
+                ]),
+            ),
+            // Rebuild: pruned to one step; the final sketch.
+            mk(
+                6,
+                1,
+                "sketch.step",
+                Json::Obj(vec![
+                    ("step".into(), Json::U64(1)),
+                    ("iid".into(), Json::U64(7)),
+                    ("provenance".into(), Json::Arr(vec![Json::U64(2)])),
+                ]),
+            ),
+            mk(
+                7,
+                1,
+                "trace.finish",
+                Json::Obj(vec![
+                    ("iterations".into(), Json::U64(2)),
+                    ("recurrences".into(), Json::U64(3)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn final_steps_keep_only_last_rebuild() {
+        let j = sample();
+        let steps = j.final_steps(1);
+        assert_eq!(steps.len(), 1, "pruned rebuild wins");
+        assert_eq!(steps[0].seq, 6);
+    }
+
+    #[test]
+    fn explain_resolves_chain() {
+        let j = sample();
+        let lines = j.explain_step("Sketch for x", 1).unwrap();
+        assert!(lines[0].contains("sketch.step"));
+        assert!(lines[1].contains("slice.computed"));
+        assert!(j.explain_step("Sketch for x", 9).is_err());
+        assert!(j.explain_step("no such trace", 1).is_err());
+    }
+
+    #[test]
+    fn summary_and_grep_render() {
+        let j = sample();
+        let s = j.summary_text();
+        assert!(s.contains("7 events"));
+        assert!(s.contains("sketch.step"));
+        assert!(s.contains("iterations=2 recurrences=3"));
+        assert!(s.contains("sketch_steps=1"));
+        let g = j.grep_text("sketch.step");
+        assert_eq!(g.lines().count(), 3);
+        // Prefix form matches the whole layer.
+        assert_eq!(j.grep_text("sketch").lines().count(), 3);
+        assert_eq!(j.grep_text("watch").lines().count(), 1);
+    }
+
+    #[test]
+    fn digest_resolves_provenance_to_kinds() {
+        let j = sample();
+        let d = j.digest();
+        assert!(d.contains("trace 1 \"Sketch for x\":"));
+        assert!(d.contains("step 1 iid=7 via [slice.computed]"));
+        // Only the final rebuild's steps appear.
+        assert!(!d.contains("iid=5 via"));
+    }
+}

@@ -120,6 +120,7 @@ impl<'p> SimulatedFleet<'p> {
         parent: &gist_obs::SpanHandle,
     ) -> ClientRunData {
         let _span = gist_obs::span_under(parent, "fleet.worker");
+        gist_obs::event!(RunStarted { run: run_id, seed });
         let mut cfg = make_config(seed);
         cfg.num_cores = num_cores;
         let mut tracker = TrackerRuntime::new(program, patch.clone(), num_cores)
@@ -142,6 +143,12 @@ impl<'p> SimulatedFleet<'p> {
             trace: tracker.finish(),
             retired: result.steps,
         };
+        gist_obs::event!(RunFinished {
+            run: run_id,
+            failing: data.outcome.is_some(),
+            retired: result.steps,
+            hits: data.trace.hits.len() as u64,
+        });
         shared
             .scratch_pool
             .lock()

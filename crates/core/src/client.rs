@@ -68,19 +68,7 @@ mod tests {
     }
 
     fn dummy_trace() -> RunTrace {
-        RunTrace {
-            decoded: Default::default(),
-            hits: Vec::new(),
-            executed_tracked: Default::default(),
-            discovered: Default::default(),
-            branches: Vec::new(),
-            pt_bytes: 0,
-            pt_transitions: 0,
-            traced_retired: 0,
-            watch_traps: 0,
-            ptrace_ops: 0,
-            missed_arms: 0,
-        }
+        RunTrace::default()
     }
 
     #[test]

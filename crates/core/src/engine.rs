@@ -236,6 +236,9 @@ impl<'p> SketchBuilder<'p> {
                     highlight: highlighted.contains(&stmt),
                     grey: ideal.map(|i| !i.contains(&stmt)).unwrap_or(false),
                     value_note,
+                    // Filled in by the server, which holds the journal
+                    // anchors (hit/decode/promotion/slice event seq-nos).
+                    provenance: Vec::new(),
                 }
             })
             .collect();
@@ -386,14 +389,9 @@ entry:
                 hit(30, 0, w_load, 0, AccessKind::Read),
             ],
             executed_tracked: stmts.clone(),
-            discovered: BTreeSet::new(),
-            branches: Vec::new(),
-            pt_bytes: 0,
-            pt_transitions: 0,
-            traced_retired: 0,
             watch_traps: 3,
             ptrace_ops: 1,
-            missed_arms: 0,
+            ..RunTrace::default()
         };
         // Predictors: the RWR interleaving perfectly predicts the failure.
         let stats = vec![PredictorStats {
@@ -504,16 +502,8 @@ entry:
         decoded.per_core.push(vec![(1, store)]);
         let rep = RunTrace {
             decoded,
-            hits: Vec::new(),
             executed_tracked: stmts.clone(),
-            discovered: BTreeSet::new(),
-            branches: Vec::new(),
-            pt_bytes: 0,
-            pt_transitions: 0,
-            traced_retired: 0,
-            watch_traps: 0,
-            ptrace_ops: 0,
-            missed_arms: 0,
+            ..RunTrace::default()
         };
         let sketch = SketchBuilder::new(&p).build(&report, &stmts, &rep, &[], 0.5, Some(&ideal));
         let grey: Vec<InstrId> = sketch

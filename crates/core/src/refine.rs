@@ -74,16 +74,9 @@ mod tests {
     fn trace(executed: &[u32], discovered: &[u32]) -> RunTrace {
         RunTrace {
             decoded: DecodedTrace::default(),
-            hits: Vec::new(),
             executed_tracked: executed.iter().map(|&i| InstrId(i)).collect(),
             discovered: discovered.iter().map(|&i| InstrId(i)).collect(),
-            branches: Vec::new(),
-            pt_bytes: 0,
-            pt_transitions: 0,
-            traced_retired: 0,
-            watch_traps: 0,
-            ptrace_ops: 0,
-            missed_arms: 0,
+            ..RunTrace::default()
         }
     }
 

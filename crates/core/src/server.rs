@@ -178,6 +178,7 @@ impl<'p> GistServer<'p> {
         ideal: Option<&BTreeSet<InstrId>>,
         stop: &mut dyn FnMut(&FailureSketch) -> bool,
     ) -> DiagnosisResult {
+        gist_obs::begin_trace(&self.config.title);
         let _span_diagnose = gist_obs::span("server.diagnose");
         gist_obs::counter!("server.diagnoses").inc();
         let slice = {
@@ -188,6 +189,14 @@ impl<'p> GistServer<'p> {
                 self.slicer.compute_without_alias(report.failing_stmt)
             }
         };
+        // The slice criterion is the root of every provenance chain: any
+        // statement in the sketch is there because of this computation, a
+        // promotion decision that cites it, or runtime evidence.
+        let slice_event = gist_obs::event!(SliceComputed {
+            criterion: report.failing_stmt.0,
+            len: slice.len() as u64,
+            alias: self.config.enable_alias_slicing,
+        });
         // Static race analysis (fallback seeding): candidates whose pair
         // touches the slice contribute their *other* endpoint to the
         // tracked set. With alias-aware slicing on, most racing writes are
@@ -237,6 +246,19 @@ impl<'p> GistServer<'p> {
             .with_class(&self.config.bug_class);
         let signature = report.signature();
 
+        // Journal anchor of the event that promoted each non-slice
+        // statement into tracking (race seed or watchpoint discovery);
+        // sketch steps cite it in their provenance chains.
+        let mut origin: std::collections::HashMap<InstrId, u64> = std::collections::HashMap::new();
+        for &s in &race_seed {
+            let ev = gist_obs::event!(StmtPromoted {
+                iid: s.0,
+                reason: "race-seed",
+                via: slice_event,
+                sigma: self.config.sigma0 as u64,
+            });
+            origin.insert(s, ev);
+        }
         let mut ast =
             AstController::with_sigma(slice.clone(), self.config.sigma0, self.config.growth);
         let mut refinement = Refinement::new();
@@ -269,6 +291,11 @@ impl<'p> GistServer<'p> {
                 }
             }
             gist_obs::histogram!("server.tracked_size").record(tracked.len() as u64);
+            gist_obs::event!(IterationStarted {
+                iteration: iterations as u64,
+                sigma: ast.sigma() as u64,
+                tracked: tracked.len() as u64,
+            });
             let groups = planner.watch_groups(&tracked);
             let mut iter_obs: Vec<RunObservations> = Vec::new();
             let mut failing_this_iter = 0usize;
@@ -300,6 +327,20 @@ impl<'p> GistServer<'p> {
                 let run = fleet.next_run(&patch);
                 runs_this_iter += 1;
                 let failing = run.matches_failure(signature);
+                // First-discovery promotions: a watchpoint hit at an
+                // untracked statement is the evidence that adds it to the
+                // tracked set next iteration (§3.2.3's alias-gap closing).
+                for (hit, &hit_event) in run.trace.hits.iter().zip(&run.trace.hit_events) {
+                    if run.trace.discovered.contains(&hit.iid) && !origin.contains_key(&hit.iid) {
+                        let ev = gist_obs::event!(StmtPromoted {
+                            iid: hit.iid.0,
+                            reason: "watch-discovery",
+                            via: hit_event,
+                            sigma: ast.sigma() as u64,
+                        });
+                        origin.insert(hit.iid, ev);
+                    }
+                }
                 refinement.absorb(&run.trace, failing);
                 cost.absorb(&run.trace, run.retired);
                 iter_obs.push(observations(&run.trace, failing));
@@ -323,6 +364,14 @@ impl<'p> GistServer<'p> {
             let span_rank = gist_obs::span("server.rank");
             ranked = rank(&iter_obs, self.config.beta);
             drop(span_rank);
+            for (i, stats) in ranked.iter().take(3).enumerate() {
+                gist_obs::event!(PredictorRanked {
+                    category: stats.predictor.category().to_owned(),
+                    rank: i as u64 + 1,
+                    f_milli: (stats.f_measure(self.config.beta) * 1000.0).round() as u64,
+                    iid: predictor_stmt(&stats.predictor).0,
+                });
+            }
             let stmts = if self.config.enable_control_flow {
                 refinement.sketch_stmts()
             } else {
@@ -334,6 +383,33 @@ impl<'p> GistServer<'p> {
             if let Some(rep) = &representative {
                 let _span_sketch = gist_obs::span("server.sketch");
                 sketch = builder.build(report, &stmts, rep, &ranked, self.config.beta, ideal);
+                // Attach provenance: the most specific runtime evidence
+                // first (latest watchpoint hit at this statement in the
+                // representative run), then that run's PT decode, then the
+                // decision that promoted the statement into tracking, and
+                // finally the slice criterion everything descends from.
+                for step in &mut sketch.steps {
+                    let mut chain: Vec<u64> = Vec::new();
+                    if let Some(pos) = rep.hits.iter().rposition(|h| h.iid == step.stmt) {
+                        if let Some(&ev) = rep.hit_events.get(pos) {
+                            chain.push(ev);
+                        }
+                    }
+                    chain.push(rep.decode_event);
+                    if let Some(&ev) = origin.get(&step.stmt) {
+                        chain.push(ev);
+                    }
+                    chain.push(slice_event);
+                    chain.retain(|&s| s != 0);
+                    let mut seen = BTreeSet::new();
+                    chain.retain(|&s| seen.insert(s));
+                    step.provenance = chain;
+                    gist_obs::event!(SketchStepEmitted {
+                        step: step.step as u64,
+                        iid: step.stmt.0,
+                        provenance: step.provenance.clone(),
+                    });
+                }
             }
 
             let done = stop(&sketch) || ast.saturated() || iterations >= self.config.max_iterations;
@@ -348,8 +424,17 @@ impl<'p> GistServer<'p> {
         // refinement proved never execute in failing runs.
         gist_obs::counter!("server.ast_promotions").add(refinement.discovered.len() as u64);
         let tracked_set: BTreeSet<InstrId> = ast.tracked_portion().iter().copied().collect();
-        gist_obs::counter!("server.ast_demotions")
-            .add(refinement.removable(&tracked_set).len() as u64);
+        let demoted = refinement.removable(&tracked_set);
+        gist_obs::counter!("server.ast_demotions").add(demoted.len() as u64);
+        for &s in &demoted {
+            gist_obs::event!(StmtDemoted {
+                iid: s.0,
+                reason: "never-executed",
+                sigma: ast.sigma() as u64,
+            });
+        }
+        drop(_span_diagnose);
+        gist_obs::end_trace(iterations as u64, recurrences as u64);
 
         DiagnosisResult {
             sketch,
@@ -362,6 +447,20 @@ impl<'p> GistServer<'p> {
             ranked,
             cost,
         }
+    }
+}
+
+/// The statement a predictor points at, for journal attribution: the
+/// remote (interleaved) access for atomicity violations, the earlier
+/// access for races, the subject statement otherwise.
+fn predictor_stmt(p: &gist_predictors::Predictor) -> InstrId {
+    use gist_predictors::Predictor;
+    match *p {
+        Predictor::Atomicity { remote, .. } => remote,
+        Predictor::Race { first, .. } => first,
+        Predictor::Branch { stmt, .. }
+        | Predictor::Value { stmt, .. }
+        | Predictor::ValueRange { stmt, .. } => stmt,
     }
 }
 

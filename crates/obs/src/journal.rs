@@ -1,0 +1,525 @@
+//! The flight-recorder journal: lock-free-per-thread buffering of
+//! [`EventRecord`]s, drained into a deterministic JSONL journal and a
+//! Chrome `trace_event` export.
+//!
+//! # Ordering and determinism
+//!
+//! Sequence numbers come from one process-global relaxed atomic, so the
+//! drained journal (sorted by seq) is totally ordered. Records carry *no*
+//! wall-clock field: under fixed seeds and sequential execution (fleet
+//! batch = 1, the deterministic bench configuration) the journal is
+//! **byte-identical** across runs. Under parallel execution (batch > 1)
+//! events still record safely — per-thread buffers flush into a global
+//! sink under a mutex — but interleaving makes seq assignment racy, which
+//! is why the bench drains the journal *before* its throughput section.
+//!
+//! # Buffering
+//!
+//! [`record`] pushes into a thread-local `Vec` (no lock, no allocation
+//! beyond amortized growth) and flushes to the global sink every
+//! [`FLUSH_EVERY`] events and at thread exit. [`drain`] flushes the
+//! calling thread, takes the sink, and sorts by seq; worker threads joined
+//! before the drain (the fleet uses scoped threads) have already flushed
+//! via their thread-local destructor.
+//!
+//! # `metrics-off`
+//!
+//! Every entry point compiles to a no-op returning the 0 sentinel; the
+//! [`crate::event!`] macro takes the payload as a closure, so payload
+//! construction itself is compiled away.
+
+#[cfg(not(feature = "metrics-off"))]
+use std::cell::RefCell;
+#[cfg(not(feature = "metrics-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "metrics-off"))]
+use std::sync::{Mutex, OnceLock};
+
+pub use crate::event::{EventKind, EventRecord, JournalEvent};
+use crate::json::Json;
+
+/// Hard cap on journal size per reset epoch: a runaway loop stops
+/// journaling (events past the cap return the 0 sentinel and bump the
+/// `journal.events_dropped` counter) instead of exhausting memory.
+pub const MAX_EVENTS: u64 = 1_000_000;
+
+/// Thread-local buffer length that triggers a flush to the global sink.
+#[cfg(not(feature = "metrics-off"))]
+const FLUSH_EVERY: usize = 256;
+
+#[cfg(not(feature = "metrics-off"))]
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+#[cfg(not(feature = "metrics-off"))]
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+#[cfg(not(feature = "metrics-off"))]
+static CURRENT_TRACE: AtomicU64 = AtomicU64::new(0);
+/// Reset epoch: bumped by [`reset`] so stale thread-local buffers (and
+/// their cached thread indices) are discarded lazily.
+#[cfg(not(feature = "metrics-off"))]
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+#[cfg(not(feature = "metrics-off"))]
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(not(feature = "metrics-off"))]
+fn sink() -> &'static Mutex<Vec<EventRecord>> {
+    static SINK: OnceLock<Mutex<Vec<EventRecord>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+#[cfg(not(feature = "metrics-off"))]
+struct LocalBuf {
+    generation: u64,
+    tid: u32,
+    events: Vec<EventRecord>,
+}
+
+#[cfg(not(feature = "metrics-off"))]
+impl LocalBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        // Events from a stale epoch must not leak into the new journal.
+        if self.generation == GENERATION.load(Ordering::Relaxed) {
+            let mut sink = sink().lock().unwrap_or_else(|e| e.into_inner());
+            sink.append(&mut self.events);
+        } else {
+            self.events.clear();
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = const {
+        RefCell::new(LocalBuf {
+            generation: u64::MAX,
+            tid: 0,
+            events: Vec::new(),
+        })
+    };
+}
+
+/// Records one event, returning its sequence number (0 = not recorded:
+/// `metrics-off`, past [`MAX_EVENTS`], or during thread teardown).
+///
+/// Prefer the [`crate::event!`] macro, which defers payload construction
+/// so `metrics-off` builds compile it away entirely.
+pub fn record(kind: EventKind) -> u64 {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        if seq > MAX_EVENTS {
+            crate::counter!("journal.events_dropped").inc();
+            return 0;
+        }
+        let trace = CURRENT_TRACE.load(Ordering::Relaxed);
+        LOCAL
+            .try_with(|l| {
+                let mut l = l.borrow_mut();
+                let generation = GENERATION.load(Ordering::Relaxed);
+                if l.generation != generation {
+                    l.events.clear();
+                    l.generation = generation;
+                    l.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed) as u32;
+                }
+                let tid = l.tid;
+                l.events.push(EventRecord {
+                    seq,
+                    trace,
+                    tid,
+                    kind,
+                });
+                if l.events.len() >= FLUSH_EVERY {
+                    l.flush();
+                }
+                seq
+            })
+            .unwrap_or(0)
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = kind;
+        0
+    }
+}
+
+/// Records the event produced by `f`, returning its sequence number.
+/// Under `metrics-off` `f` is never called.
+#[inline]
+pub fn record_with(f: impl FnOnce() -> EventKind) -> u64 {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        record(f())
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = f;
+        0
+    }
+}
+
+/// Starts a diagnosis trace: allocates the next trace id, makes it
+/// current (all events until [`end_trace`] carry it — including events
+/// from fleet worker threads), and records a `trace.start` event carrying
+/// `label`. Returns the trace id (0 under `metrics-off`).
+pub fn begin_trace(label: &str) -> u64 {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        CURRENT_TRACE.store(id, Ordering::Relaxed);
+        record(EventKind::TraceStarted {
+            label: label.to_owned(),
+        });
+        id
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = label;
+        0
+    }
+}
+
+/// Ends the current diagnosis trace: records `trace.finish` and clears
+/// the current trace id.
+pub fn end_trace(iterations: u64, recurrences: u64) {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        record(EventKind::TraceFinished {
+            iterations,
+            recurrences,
+        });
+        CURRENT_TRACE.store(0, Ordering::Relaxed);
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = (iterations, recurrences);
+    }
+}
+
+/// Flushes the calling thread's buffer and takes every buffered event,
+/// sorted by sequence number. The journal is empty afterwards (recording
+/// continues; seq numbers keep growing until [`reset`]).
+pub fn drain() -> Vec<EventRecord> {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+        let mut events = std::mem::take(&mut *sink().lock().unwrap_or_else(|e| e.into_inner()));
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        Vec::new()
+    }
+}
+
+/// Resets the journal: clears all buffers, restarts seq and trace-id
+/// counters at 1, and bumps the epoch so stale thread-local buffers are
+/// discarded. Called from [`crate::reset`].
+pub fn reset() {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+        NEXT_TID.store(0, Ordering::Relaxed);
+        NEXT_SEQ.store(1, Ordering::Relaxed);
+        NEXT_TRACE.store(1, Ordering::Relaxed);
+        CURRENT_TRACE.store(0, Ordering::Relaxed);
+        sink().lock().unwrap_or_else(|e| e.into_inner()).clear();
+        let _ = LOCAL.try_with(|l| l.borrow_mut().events.clear());
+    }
+}
+
+/// Renders drained records as the deterministic JSONL journal: one
+/// compact JSON object per line, sorted by seq, no wall-clock fields.
+pub fn to_jsonl(events: &[EventRecord]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_value().render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts drained records to the schema-level representation used by
+/// journal consumers ([`chrome_trace`], `gist-trace`).
+pub fn to_events(events: &[EventRecord]) -> Vec<JournalEvent> {
+    events.iter().map(EventRecord::to_event).collect()
+}
+
+/// Parses a JSONL journal back into events. Lines that are not objects
+/// with the journal schema are rejected with a line-numbered error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let get = |name: &str| match &v {
+            Json::Obj(members) => members
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone()),
+            _ => None,
+        };
+        let num = |name: &str| match get(name) {
+            Some(Json::U64(n)) => Ok(n),
+            _ => Err(format!("line {}: missing numeric `{name}`", i + 1)),
+        };
+        let kind = match get("kind") {
+            Some(Json::Str(s)) => s,
+            _ => return Err(format!("line {}: missing `kind`", i + 1)),
+        };
+        events.push(JournalEvent {
+            seq: num("seq")?,
+            trace: num("trace")?,
+            tid: num("tid")? as u32,
+            kind,
+            data: get("data").unwrap_or(Json::Null),
+        });
+    }
+    Ok(events)
+}
+
+/// Builds a Chrome `trace_event` export (the `chrome://tracing` /
+/// Perfetto JSON format) from journal events.
+///
+/// `span.begin` / `span.end` become `B` / `E` duration events; everything
+/// else becomes a thread-scoped instant (`i`) event carrying its payload
+/// as `args`. The journal has no wall-clock, so timestamps are synthesized
+/// from sequence numbers (1 seq = 1 µs): relative ordering and nesting are
+/// faithful, durations are logical.
+///
+/// The export is well-formed for *any* input — including unbalanced
+/// spans (a guard still open at drain time, or an `E` whose `B` predates
+/// a reset): an `E` without a matching open `B` on its thread is dropped,
+/// an `E` that closes an outer span first closes the inner ones, and
+/// spans still open at the end are closed with synthetic `E` events.
+pub fn chrome_trace(events: &[JournalEvent]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+    // Per-tid stack of open span names.
+    let mut open: std::collections::BTreeMap<u32, Vec<String>> = std::collections::BTreeMap::new();
+    let mut max_ts = 0u64;
+    let base = |e: &JournalEvent, ph: &str, name: &str, ts: u64| -> Vec<(String, Json)> {
+        vec![
+            ("name".into(), Json::Str(name.to_owned())),
+            ("ph".into(), Json::Str(ph.to_owned())),
+            ("ts".into(), Json::U64(ts)),
+            ("pid".into(), Json::U64(1)),
+            ("tid".into(), Json::U64(u64::from(e.tid))),
+        ]
+    };
+    for e in events {
+        max_ts = max_ts.max(e.seq);
+        match e.kind.as_str() {
+            "span.begin" => {
+                let path = e.field_str("path").unwrap_or("span").to_owned();
+                out.push(Json::Obj(base(e, "B", &path, e.seq)));
+                open.entry(e.tid).or_default().push(path);
+            }
+            "span.end" => {
+                let path = e.field_str("path").unwrap_or("span");
+                let stack = open.entry(e.tid).or_default();
+                let Some(pos) = stack.iter().rposition(|p| p == path) else {
+                    continue; // no matching B on this thread: drop
+                };
+                // Close inner spans first so B/E stay properly nested.
+                while stack.len() > pos {
+                    let inner = stack.pop().expect("stack non-empty");
+                    out.push(Json::Obj(base(e, "E", &inner, e.seq)));
+                }
+            }
+            _ => {
+                let mut members = base(e, "i", &e.kind, e.seq);
+                members.push(("s".into(), Json::Str("t".into())));
+                members.push(("args".into(), e.data.clone()));
+                out.push(Json::Obj(members));
+            }
+        }
+    }
+    // Close spans still open at drain time, innermost first.
+    for (tid, stack) in &mut open {
+        while let Some(inner) = stack.pop() {
+            max_ts += 1;
+            out.push(Json::Obj(vec![
+                ("name".into(), Json::Str(inner)),
+                ("ph".into(), Json::Str("E".into())),
+                ("ts".into(), Json::U64(max_ts)),
+                ("pid".into(), Json::U64(1)),
+                ("tid".into(), Json::U64(u64::from(*tid))),
+            ]));
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(out)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+/// Records the flight-recorder event built by the given [`EventKind`]
+/// constructor expression, returning its journal sequence number (0 when
+/// not recorded).
+///
+/// The payload is passed as a closure to [`journal::record_with`], so a
+/// `gist-obs` built with `metrics-off` compiles both the recording *and*
+/// the payload construction away (instrumented crates forward their own
+/// `metrics-off` feature to `gist-obs/metrics-off`).
+///
+/// ```
+/// let seq = gist_obs::event!(RunStarted { run: 1, seed: 42 });
+/// # let _ = seq;
+/// ```
+///
+/// [`journal::record_with`]: crate::journal::record_with
+#[macro_export]
+macro_rules! event {
+    ($($kind:tt)+) => {
+        $crate::journal::record_with(|| $crate::journal::EventKind::$($kind)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the journal is process-global; these tests run in one binary
+    // alongside the metric tests, so they only assert properties robust
+    // to interleaving (or run single-threaded logic on owned data).
+
+    #[test]
+    fn record_and_drain_round_trip() {
+        let seq = record(EventKind::RunStarted { run: 7, seed: 9 });
+        if cfg!(feature = "metrics-off") {
+            assert_eq!(seq, 0);
+            assert!(drain().is_empty());
+            return;
+        }
+        assert!(seq > 0);
+        let events = drain();
+        let mine: Vec<_> = events.iter().filter(|e| e.seq == seq).collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(
+            mine[0].kind,
+            EventKind::RunStarted { run: 7, seed: 9 },
+            "payload survives buffering"
+        );
+        // Drained output is sorted by seq.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let records = vec![
+            EventRecord {
+                seq: 1,
+                trace: 1,
+                tid: 0,
+                kind: EventKind::TraceStarted {
+                    label: "Failure Sketch for t \"quoted\"".into(),
+                },
+            },
+            EventRecord {
+                seq: 2,
+                trace: 1,
+                tid: 0,
+                kind: EventKind::WatchHit {
+                    iid: 5,
+                    addr: 0x1000,
+                    value: -3,
+                    hit_seq: 44,
+                    hit_tid: 1,
+                    discovered: true,
+                },
+            },
+        ];
+        let jsonl = to_jsonl(&records);
+        let parsed = parse_jsonl(&jsonl).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kind, "trace.start");
+        assert_eq!(
+            parsed[0].field_str("label"),
+            Some("Failure Sketch for t \"quoted\"")
+        );
+        assert_eq!(parsed[1].field_u64("hit_seq"), Some(44));
+        assert_eq!(parsed[1].field("value"), Some(&Json::I64(-3)));
+        assert_eq!(parsed, to_events(&records));
+    }
+
+    #[test]
+    fn chrome_trace_balances_unmatched_spans() {
+        let ev = |seq, tid, kind: &str, path: &str| JournalEvent {
+            seq,
+            trace: 0,
+            tid,
+            kind: kind.into(),
+            data: Json::Obj(vec![("path".into(), Json::Str(path.into()))]),
+        };
+        // tid 0: orphan end, then an open begin never closed;
+        // tid 1: end closes the outer span while inner is open.
+        let events = vec![
+            ev(1, 0, "span.end", "orphan"),
+            ev(2, 0, "span.begin", "open"),
+            ev(3, 1, "span.begin", "outer"),
+            ev(4, 1, "span.begin", "outer/inner"),
+            ev(5, 1, "span.end", "outer"),
+        ];
+        let chrome = chrome_trace(&events);
+        let Json::Obj(members) = &chrome else {
+            panic!("chrome export is an object")
+        };
+        let Json::Arr(items) = &members[0].1 else {
+            panic!("traceEvents is an array")
+        };
+        // Per-tid stack discipline over the output.
+        let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+        for item in items {
+            let Json::Obj(f) = item else { panic!() };
+            let get = |n: &str| f.iter().find(|(k, _)| k == n).map(|(_, v)| v.clone());
+            let Some(Json::Str(ph)) = get("ph") else {
+                panic!()
+            };
+            let Some(Json::Str(name)) = get("name") else {
+                panic!()
+            };
+            let Some(Json::U64(tid)) = get("tid") else {
+                panic!()
+            };
+            match ph.as_str() {
+                "B" => stacks.entry(tid).or_default().push(name),
+                "E" => assert_eq!(
+                    stacks.entry(tid).or_default().pop().as_deref(),
+                    Some(name.as_str()),
+                    "E must close the innermost open B"
+                ),
+                _ => {}
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+        }
+    }
+
+    #[test]
+    fn event_macro_returns_seq() {
+        let seq = crate::event!(PatchPlanned {
+            tracked: 4,
+            watch: 2,
+            group: 0,
+            bytes: 64,
+        });
+        if cfg!(feature = "metrics-off") {
+            assert_eq!(seq, 0);
+        } else {
+            assert!(seq > 0);
+        }
+        let _ = drain();
+    }
+}

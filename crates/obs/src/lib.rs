@@ -45,16 +45,20 @@
 //! enabled-build overhead is bounded (<5% fleet throughput).
 
 mod counter;
+pub mod event;
 mod handle;
 mod histogram;
+pub mod journal;
 pub mod json;
 mod registry;
 mod snapshot;
 mod timer;
 
 pub use counter::Counter;
+pub use event::{EventKind, EventRecord, JournalEvent};
 pub use handle::{CounterHandle, HistogramHandle};
 pub use histogram::{bucket_floor, bucket_of, Histogram, NUM_BUCKETS};
+pub use journal::{begin_trace, end_trace};
 pub use registry::{counter_by_name, histogram_by_name};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, TimerSnapshot};
 pub use timer::{current_span_handle, span, span_under, SpanGuard, SpanHandle, Timer};
@@ -73,7 +77,8 @@ pub fn snapshot() -> MetricsSnapshot {
 /// process (one `#[test]` per integration binary) because the registry is
 /// process-global.
 pub fn reset() {
-    registry::reset_all()
+    registry::reset_all();
+    journal::reset();
 }
 
 #[cfg(test)]

@@ -100,6 +100,10 @@ fn push_segment(segment: String) -> SpanGuard {
         s.push(segment);
         s.join("/")
     });
+    // Mirror the span into the flight-recorder journal so the Chrome
+    // export can show it as a B/E duration pair. Journaled *before* the
+    // clock read so the recording cost is outside the measured span.
+    crate::journal::record(crate::event::EventKind::SpanBegin { path: path.clone() });
     SpanGuard {
         start: Instant::now(),
         path,
@@ -170,6 +174,9 @@ impl Drop for SpanGuard {
         {
             let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             crate::registry::timer_by_path(&self.path).record_ns(ns);
+            crate::journal::record(crate::event::EventKind::SpanEnd {
+                path: std::mem::take(&mut self.path),
+            });
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });

@@ -403,12 +403,21 @@ fn decode_inner(
     gist_obs::counter!("pt.bytes_decoded")
         .add(core_bytes.iter().map(|b| b.len() as u64).sum::<u64>());
     let mut out = DecodedTrace::default();
-    for bytes in core_bytes {
+    for (core, bytes) in core_bytes.iter().enumerate() {
         let mut seq = Vec::new();
         match cache {
             Some(c) => decode_core_cached(program, bytes, &mut out, &mut seq, c)?,
             None => decode_core(program, bytes, &mut out, &mut seq)?,
         }
+        // One journal event per core buffer, recorded after the decode so
+        // the payload is identical whether the segment cache hit or missed
+        // (the cache must stay observation-invisible).
+        gist_obs::event!(PtSegmentDecoded {
+            core: core as u32,
+            segment: core as u64,
+            bytes: bytes.len() as u64,
+            stmts: seq.len() as u64,
+        });
         out.per_core.push(seq);
     }
     gist_obs::counter!("pt.stmts_decoded")

@@ -77,6 +77,33 @@ pub fn render(sketch: &FailureSketch) -> String {
     out
 }
 
+/// Renders a sketch with its provenance chains (the `--explain` mode):
+/// the normal sketch followed by one block per step listing the journal
+/// evidence that put it there, most specific first (hit → decode →
+/// promotion → slice criterion).
+///
+/// `resolve` maps a journal seq-no to a one-line description (from a
+/// loaded journal); unresolvable seq-nos render as `#<seq> <unresolved>`,
+/// and steps with no provenance (journaling off) say so explicitly.
+pub fn render_explain(sketch: &FailureSketch, resolve: &dyn Fn(u64) -> Option<String>) -> String {
+    let mut out = render(sketch);
+    out.push_str("\nProvenance (journal seq-nos; most specific evidence first):\n");
+    for s in &sketch.steps {
+        out.push_str(&format!("  step {:>3}  {}\n", s.step, s.text.trim_end()));
+        if s.provenance.is_empty() {
+            out.push_str("        (no provenance recorded — journaling off?)\n");
+            continue;
+        }
+        for &seq in &s.provenance {
+            match resolve(seq) {
+                Some(line) => out.push_str(&format!("        #{seq:<6} {line}\n")),
+                None => out.push_str(&format!("        #{seq:<6} <unresolved>\n")),
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +126,7 @@ mod tests {
                     highlight: false,
                     grey: false,
                     value_note: None,
+                    provenance: Vec::new(),
                 },
                 SketchStep {
                     step: 2,
@@ -109,6 +137,7 @@ mod tests {
                     highlight: true,
                     grey: false,
                     value_note: Some("0".into()),
+                    provenance: vec![4, 2],
                 },
                 SketchStep {
                     step: 3,
@@ -119,6 +148,7 @@ mod tests {
                     highlight: true,
                     grey: false,
                     value_note: Some("0  <- Failure (segfault)".into()),
+                    provenance: vec![7, 2],
                 },
             ],
             predictors: Vec::new(),
@@ -172,6 +202,25 @@ mod tests {
         s.steps[0].grey = true;
         let text = render(&s);
         assert!(text.contains("~queue* f = init(size);"));
+    }
+
+    #[test]
+    fn explain_lists_provenance_per_step() {
+        let resolve = |seq: u64| match seq {
+            2 => Some("slice.computed criterion=12".to_owned()),
+            4 => Some("watch.hit iid=1 value=0".to_owned()),
+            _ => None,
+        };
+        let text = render_explain(&demo_sketch(), &resolve);
+        // The normal sketch still renders up front.
+        assert!(text.contains("[[ f->mut = NULL; ]]"));
+        // Step 2's chain resolves hit then slice criterion.
+        assert!(text.contains("#4      watch.hit iid=1 value=0"));
+        assert!(text.contains("#2      slice.computed criterion=12"));
+        // Step 3's chain has an unresolvable seq (7) and says so.
+        assert!(text.contains("#7      <unresolved>"));
+        // Step 1 has no provenance and says so.
+        assert!(text.contains("no provenance recorded"));
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct SketchStep {
     /// Data value annotation shown in the value column at this step
     /// (e.g. `0` for `f->mut` at the failing step of Fig. 1).
     pub value_note: Option<String>,
+    /// Provenance chain: flight-recorder journal sequence numbers of the
+    /// evidence that put this step in the sketch, most specific first
+    /// (watchpoint hit → PT decode → promotion decision → slice
+    /// criterion). Empty when journaling is off (`metrics-off`). Resolved
+    /// by `gist-trace explain` and the `--explain` render mode.
+    pub provenance: Vec<u64>,
 }
 
 /// A complete failure sketch.
@@ -133,6 +139,7 @@ mod tests {
             highlight: false,
             grey,
             value_note: None,
+            provenance: Vec::new(),
         }
     }
 

@@ -112,7 +112,14 @@ impl<'p> Planner<'p> {
     /// Plans instrumentation for the given slice portion; `watch_group`
     /// selects which cooperative subset of watchpoint sites this run arms.
     pub fn plan(&self, tracked: &[InstrId], watch_group: usize) -> InstrumentationPatch {
-        self.plan_with_options(tracked, watch_group, true)
+        let patch = self.plan_with_options(tracked, watch_group, true);
+        gist_obs::event!(PatchPlanned {
+            tracked: patch.tracked.len() as u64,
+            watch: patch.watch_accesses.len() as u64,
+            group: watch_group as u64,
+            bytes: patch.shipped_size() as u64,
+        });
+        patch
     }
 
     /// Ablation: plan without the strict-dominance optimization of §3.2.2

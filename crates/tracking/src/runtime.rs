@@ -15,12 +15,18 @@ use crate::patch::InstrumentationPatch;
 /// Everything one tracked production run sends back to Gist's server:
 /// decoded control flow, ordered data-flow hits, discovered statements,
 /// and cost counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunTrace {
     /// Decoded per-core control flow.
     pub decoded: DecodedTrace,
     /// Watchpoint hits in global (total) order.
     pub hits: Vec<WatchHit>,
+    /// Journal seq of the `watch.hit` event for each entry of `hits`
+    /// (parallel vector; 0 when journaling is off). Lets the server build
+    /// sketch-step provenance chains without re-deriving attribution.
+    pub hit_events: Vec<u64>,
+    /// Journal seq of this run's `pt.decoded` event (0 when off).
+    pub decode_event: u64,
     /// Tracked statements that actually executed (slice ∩ executed —
     /// refinement's "remove statements that don't get executed", §3).
     pub executed_tracked: BTreeSet<InstrId>,
@@ -179,6 +185,11 @@ impl<'p> TrackerRuntime<'p> {
         if let Some(pool) = &self.buffer_pool {
             pool.put_all(traces);
         }
+        let decode_event = gist_obs::event!(TraceDecoded {
+            stmts: decoded.per_core.iter().map(Vec::len).sum::<usize>() as u64,
+            branches: decoded.branches.len() as u64,
+            bytes: pt_bytes as u64,
+        });
         let executed = decoded.executed();
         let executed_tracked: BTreeSet<InstrId> = self
             .patch
@@ -193,6 +204,21 @@ impl<'p> TrackerRuntime<'p> {
             .map(|h| h.iid)
             .filter(|s| !self.patch.tracked.contains(s))
             .collect();
+        // One journal event per hit, in the same (total) order as `hits`;
+        // `hit_events[i]` is the provenance anchor for `hits[i]`.
+        let hit_events: Vec<u64> = hits
+            .iter()
+            .map(|h| {
+                gist_obs::event!(WatchHit {
+                    iid: h.iid.0,
+                    addr: h.addr,
+                    value: h.value,
+                    hit_seq: h.seq,
+                    hit_tid: h.tid,
+                    discovered: !self.patch.tracked.contains(&h.iid),
+                })
+            })
+            .collect();
         let branches: Vec<(u32, InstrId, bool)> = decoded
             .branches
             .iter()
@@ -206,6 +232,8 @@ impl<'p> TrackerRuntime<'p> {
         RunTrace {
             decoded,
             hits,
+            hit_events,
+            decode_event,
             executed_tracked,
             discovered,
             branches,

@@ -167,6 +167,10 @@ impl WatchUnit {
         });
         self.ptrace_ops += 1;
         gist_obs::counter!("watch.armed").inc();
+        gist_obs::event!(WatchArmed {
+            addr,
+            slot: slot as u64,
+        });
         Ok(slot)
     }
 

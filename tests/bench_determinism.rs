@@ -33,6 +33,18 @@ fn deterministic_section_is_byte_identical_across_runs() {
         second.deterministic_json(),
         "counters and histograms must be identical under fixed seeds"
     );
+    // The flight-recorder journal carries no wall-clock fields and is
+    // drained before the (parallel) throughput section, so it is part of
+    // the determinism contract: byte-identical across same-seed runs.
+    assert_eq!(
+        first.journal, second.journal,
+        "deterministic journal must be byte-identical under fixed seeds"
+    );
+    if cfg!(feature = "metrics-off") {
+        assert!(first.journal.is_empty(), "metrics-off journals nothing");
+    } else {
+        assert!(!first.journal.is_empty(), "diagnoses journal events");
+    }
 
     // The report must carry a `throughput` section with headline rates and
     // one batch-scaling row per arm.
@@ -55,5 +67,26 @@ fn deterministic_section_is_byte_identical_across_runs() {
             Some(Json::F64(r)) => assert!(*r > 0.0, "batch={batch} measured a positive rate"),
             other => panic!("batch={batch} runs_per_sec is an F64, got {other:?}"),
         }
+    }
+
+    // The timing section reports the journal's overhead (the flight
+    // recorder must be *visibly* cheap, not assumed cheap).
+    let timing = obj_get(&report, "timing").expect("report has a timing section");
+    let journal = obj_get(timing, "journal").expect("timing has a `journal` overhead entry");
+    for key in ["events_recorded", "bytes_written", "drain_ms"] {
+        assert!(
+            obj_get(journal, key).is_some(),
+            "journal overhead has `{key}`"
+        );
+    }
+    match obj_get(journal, "events_recorded") {
+        Some(Json::U64(n)) => {
+            if cfg!(feature = "metrics-off") {
+                assert_eq!(*n, 0, "metrics-off records no events");
+            } else {
+                assert!(*n > 0, "bench diagnoses record journal events");
+            }
+        }
+        other => panic!("events_recorded is a U64, got {other:?}"),
     }
 }

@@ -1,0 +1,157 @@
+//! Flight-recorder journal contract, in one test binary:
+//!
+//! 1. Same-seed determinism: two diagnoses of the same bug produce
+//!    byte-identical JSONL journals (the journal carries no wall-clock
+//!    fields — only logical seq-nos, trace ids, and typed payloads).
+//! 2. Golden snapshot: the pbzip2 journal's deterministic digest (kind
+//!    counts, trace structure, provenance chains resolved to kinds) is
+//!    pinned under `tests/golden/pbzip2-1.journal`.
+//! 3. Provenance coverage: every step of every bugbase sketch has a
+//!    non-empty provenance chain whose seq-nos all resolve inside the
+//!    diagnosis's own journal, and `gist-trace explain` (the same
+//!    `explain_step` path) renders each of them.
+//!
+//! To accept intentional journal-shape changes:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p gist-bench --test journal_golden
+//! ```
+//!
+//! One `#[test]` in its own integration binary: the journal is a
+//! process-global sink, so this cannot share a process with other
+//! event-producing tests.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gist_bench::trace_tool::Journal;
+use gist_bugbase::{all_bugs, bug_by_name, BugSpec};
+use gist_coop::{diagnose_bug, BugEvaluation, EvalConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// A readable line diff: every differing line as `-expected` / `+actual`.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                let _ = writeln!(out, "  line {:>3} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(out, "  line {:>3} + {a}", i + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Diagnoses `bug` against a freshly reset journal and returns the
+/// evaluation together with the drained journal (as JSONL and parsed).
+fn diagnose_journaled(bug: &BugSpec) -> (BugEvaluation, String, Journal) {
+    gist_obs::reset();
+    let eval = diagnose_bug(bug, &EvalConfig::default());
+    let events = gist_obs::journal::drain();
+    let jsonl = gist_obs::journal::to_jsonl(&events);
+    let journal = Journal::from_events(gist_obs::journal::to_events(&events));
+    (eval, jsonl, journal)
+}
+
+#[test]
+fn journal_is_deterministic_and_every_sketch_step_explains() {
+    let pbzip2 = bug_by_name("pbzip2-1").expect("pbzip2-1 in bugbase");
+
+    if cfg!(feature = "metrics-off") {
+        // The whole recorder compiles to no-ops; the only contract left is
+        // that nothing is journaled.
+        let (_, jsonl, _) = diagnose_journaled(&pbzip2);
+        assert!(jsonl.is_empty(), "metrics-off journals nothing");
+        return;
+    }
+
+    // 1. Byte-identical journal across same-seed runs.
+    let (_, first_jsonl, journal) = diagnose_journaled(&pbzip2);
+    let (_, second_jsonl, _) = diagnose_journaled(&pbzip2);
+    assert!(!first_jsonl.is_empty(), "diagnosis journals events");
+    assert_eq!(
+        first_jsonl, second_jsonl,
+        "journal must be byte-identical across same-seed diagnoses"
+    );
+
+    // 2. Golden digest snapshot for pbzip2-1.
+    let digest = journal.digest();
+    let path = golden_dir().join("pbzip2-1.journal");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &digest).expect("write golden journal digest");
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "no golden journal digest at {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert!(
+            golden == digest,
+            "pbzip2-1 journal digest differs from {} (UPDATE_GOLDEN=1 to accept):\n{}",
+            path.display(),
+            line_diff(&golden, &digest)
+        );
+    }
+
+    // 3. Every step of every bugbase sketch has a non-empty provenance
+    // chain that resolves inside its own journal and explains.
+    for bug in all_bugs() {
+        let (eval, _, journal) = diagnose_journaled(&bug);
+        let label = format!("Failure Sketch for {}", bug.display);
+        assert!(
+            journal.trace_by_label(&label).is_some(),
+            "{}: journal has a trace labeled {label:?}",
+            bug.name
+        );
+        assert!(
+            !eval.sketch.steps.is_empty(),
+            "{}: sketch has steps",
+            bug.name
+        );
+        for step in &eval.sketch.steps {
+            assert!(
+                !step.provenance.is_empty(),
+                "{} step {}: provenance chain must not be empty",
+                bug.name,
+                step.step
+            );
+            for &seq in &step.provenance {
+                assert!(
+                    journal.event_by_seq(seq).is_some(),
+                    "{} step {}: provenance seq #{seq} not in journal",
+                    bug.name,
+                    step.step
+                );
+            }
+            let lines = journal
+                .explain_step(&label, step.step as u64)
+                .unwrap_or_else(|e| panic!("{} step {}: explain failed: {e}", bug.name, step.step));
+            // The step line plus at least one `<-` evidence line, none
+            // of which may be unresolved.
+            assert!(
+                lines.len() >= 2,
+                "{} step {}: {lines:?}",
+                bug.name,
+                step.step
+            );
+            assert!(
+                !lines.iter().any(|l| l.contains("<unresolved>")),
+                "{} step {}: {lines:?}",
+                bug.name,
+                step.step
+            );
+        }
+    }
+}
