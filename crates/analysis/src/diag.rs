@@ -46,6 +46,9 @@ pub struct Diagnostic {
     pub loc: SrcLoc,
     /// The function containing the finding, if any.
     pub func: Option<FuncId>,
+    /// Supporting notes (e.g. the value-flow chain behind a lint finding),
+    /// rendered as indented `note:` lines after the location.
+    pub notes: Vec<String>,
 }
 
 impl Diagnostic {
@@ -57,6 +60,7 @@ impl Diagnostic {
             message: message.into(),
             loc: SrcLoc::UNKNOWN,
             func: None,
+            notes: Vec::new(),
         }
     }
 
@@ -68,6 +72,7 @@ impl Diagnostic {
             message: message.into(),
             loc: SrcLoc::UNKNOWN,
             func: None,
+            notes: Vec::new(),
         }
     }
 
@@ -80,6 +85,12 @@ impl Diagnostic {
     /// Attaches the containing function.
     pub fn in_func(mut self, func: FuncId) -> Self {
         self.func = Some(func);
+        self
+    }
+
+    /// Appends a supporting note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
         self
     }
 
@@ -112,6 +123,9 @@ pub fn render_report(program: Option<&Program>, diags: &[Diagnostic]) -> String 
             _ => "<unknown>".to_owned(),
         };
         out.push_str(&format!("  --> {where_}\n"));
+        for note in &d.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
     }
     out.push_str(&format!(
         "{errors} error{}, {warnings} warning{}\n",

@@ -36,6 +36,16 @@
 //! race detector's lockset stage, predicting ABBA inversions before any
 //! run observes them.
 //!
+//! On top of the dataflow framework sits a **sparse value-flow graph**
+//! ([`svfg`]): interprocedural def-use chains with 1-CFA call/return
+//! binding and a branch-condition path-feasibility pruner, built so every
+//! edge is a filtered version of what the legacy slicer would pull (SVFG
+//! backward slices are subsets of TICFG slices by construction). The
+//! [`lint`] module uses it for the `gist-lint` detector suite:
+//! use-after-free/double-free (`GA020`/`GA021`), atomicity-violation
+//! candidates ranked by interleaving pattern (`GA022`), and Casper-style
+//! null-value flow into dereferences (`GA023`).
+//!
 //! Analyses are packaged as [`pass::Pass`]es run by a [`pass::PassManager`]
 //! over a shared [`pass::AnalysisCtx`], so new passes can reuse the lazily
 //! built TICFG.
@@ -43,9 +53,11 @@
 pub mod dataflow;
 pub mod deadlock;
 pub mod diag;
+pub mod lint;
 pub mod pass;
 pub mod points_to;
 pub mod race;
+pub mod svfg;
 pub mod verify;
 
 pub use dataflow::{
@@ -54,11 +66,13 @@ pub use dataflow::{
     VarSet,
 };
 pub use deadlock::{DeadlockAnalysis, DeadlockCycle, DeadlockLintPass, LockOrderEdge};
-pub use diag::{has_errors, render_report, Diagnostic, Severity};
+pub use diag::{has_errors, render_report, sort_diagnostics, Diagnostic, Severity};
+pub use lint::{lint_passes, AtomicityLintPass, AvPattern, NullFlowLintPass, UafLintPass};
 pub use pass::{default_passes, AnalysisCtx, Pass, PassManager};
 pub use points_to::{Loc, LocSet, MemOrigin, PointsTo};
 pub use race::{
     analyze, analyze_with, shared_origins_with, AccessKind, RaceAnalysis, RaceCandidate,
     RaceEndpoint,
 };
+pub use svfg::{Feasibility, Svfg, SvfgEdge, SvfgEdgeKind};
 pub use verify::{verify, verify_source, SourceVerification};

@@ -311,6 +311,112 @@ pub fn dataflow_ablation() -> Vec<DataflowRow> {
     all_bugs().iter().filter_map(dataflow_row).collect()
 }
 
+/// One bug's row of the `svfg` ablation: sparse value-flow slicing with
+/// path-feasibility pruning vs the flow-insensitive worklist slicer.
+#[derive(Clone, Debug)]
+pub struct SvfgRow {
+    /// Bug name.
+    pub bug: String,
+    /// Legacy (flow-insensitive, alias-aware) slice size.
+    pub slice_legacy: usize,
+    /// Sparse value-flow slice size (1-CFA + feasibility pruning).
+    pub slice_svfg: usize,
+    /// Root-cause statements inside the sparse slice.
+    pub root_in_slice_svfg: bool,
+    /// Watchpoint candidate pool drawn from the legacy slice.
+    pub watchpoints_legacy: usize,
+    /// Watchpoint candidate pool drawn from the sparse slice.
+    pub watchpoints_svfg: usize,
+    /// Overall accuracy with sparse slicing + value-flow watch ranking.
+    pub overall_on: f64,
+    /// Overall accuracy with the legacy slicer.
+    pub overall_off: f64,
+    /// Root cause found with sparse slicing on / off.
+    pub found: [bool; 2],
+}
+
+/// Computes one bug's `svfg` row.
+pub fn svfg_row(bug: &BugSpec) -> Option<SvfgRow> {
+    let (_, report) = bug.find_failure(500)?;
+    let slicer = StaticSlicer::new(&bug.program);
+    let legacy = slicer.compute(report.failing_stmt);
+    let sparse = slicer.compute_with_svfg(report.failing_stmt);
+    let root = bug.root_cause_stmts();
+    let run = |on: bool| {
+        diagnose_bug(
+            bug,
+            &EvalConfig {
+                enable_svfg_slicing: on,
+                ..EvalConfig::default()
+            },
+        )
+    };
+    let on = run(true);
+    let off = run(false);
+    // The legacy pool is slice-order candidates; the sparse pool adds the
+    // value-flow distance filter the sparse pipeline plans with.
+    let legacy_pool = Planner::new(&bug.program, slicer.ticfg())
+        .watch_candidates(&legacy.ordered)
+        .len();
+    let distances = slicer.svfg().backward_value_flow(report.failing_stmt);
+    let sparse_pool = Planner::new(&bug.program, slicer.ticfg())
+        .with_distance_rank(distances)
+        .watch_candidates(&sparse.ordered)
+        .len();
+    Some(SvfgRow {
+        bug: bug.name.to_owned(),
+        slice_legacy: legacy.len(),
+        slice_svfg: sparse.len(),
+        root_in_slice_svfg: root.iter().all(|&r| sparse.contains(r)),
+        watchpoints_legacy: legacy_pool,
+        watchpoints_svfg: sparse_pool,
+        overall_on: on.overall,
+        overall_off: off.overall,
+        found: [on.found_root_cause, off.found_root_cause],
+    })
+}
+
+/// The full `svfg` ablation across the bugbase.
+pub fn svfg_ablation() -> Vec<SvfgRow> {
+    all_bugs().iter().filter_map(svfg_row).collect()
+}
+
+/// Renders the `svfg` ablation as text.
+pub fn svfg_text() -> String {
+    let rows = svfg_ablation();
+    let mut out = String::new();
+    out.push_str("SVFG ablation — sparse value-flow slicing + feasibility pruning\n\n");
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9} {:>5} {:>8} {:>8} {:>8} {:>8}\n",
+        "bug", "slice-l", "slice-s", "rc-s", "wp-l", "wp-s", "A(on)", "A(off)"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9} {:>5} {:>8} {:>8} {:>8.1} {:>8.1}\n",
+            r.bug,
+            r.slice_legacy,
+            r.slice_svfg,
+            if r.root_in_slice_svfg { "yes" } else { "no" },
+            r.watchpoints_legacy,
+            r.watchpoints_svfg,
+            r.overall_on,
+            r.overall_off,
+        ));
+    }
+    let n = rows.len().max(1) as f64;
+    out.push_str(&format!(
+        "\naverage overall: sparse {:.1}%  legacy {:.1}%\n",
+        rows.iter().map(|r| r.overall_on).sum::<f64>() / n,
+        rows.iter().map(|r| r.overall_off).sum::<f64>() / n,
+    ));
+    out.push_str(&format!(
+        "watchpoint pool: {} legacy -> {} with sparse value-flow slicing\n",
+        rows.iter().map(|r| r.watchpoints_legacy).sum::<usize>(),
+        rows.iter().map(|r| r.watchpoints_svfg).sum::<usize>(),
+    ));
+    out
+}
+
 /// Renders the `--dataflow` ablation as text.
 pub fn dataflow_text() -> String {
     let rows = dataflow_ablation();
@@ -537,6 +643,33 @@ mod tests {
         assert!(
             total_pruned < total_unpruned,
             "pruning never fired: {total_pruned} vs {total_unpruned}"
+        );
+    }
+
+    #[test]
+    fn svfg_slices_are_subsets_and_shrink_the_watch_pool() {
+        let rows = svfg_ablation();
+        assert_eq!(rows.len(), 11);
+        for r in &rows {
+            assert!(
+                r.slice_svfg <= r.slice_legacy,
+                "{}: sparse slice grew: {} > {}",
+                r.bug,
+                r.slice_svfg,
+                r.slice_legacy
+            );
+            assert!(
+                r.root_in_slice_svfg,
+                "{}: pruning lost the root cause",
+                r.bug
+            );
+            assert!(r.found[0], "{}: sparse pipeline lost the root cause", r.bug);
+        }
+        let legacy: usize = rows.iter().map(|r| r.watchpoints_legacy).sum();
+        let sparse: usize = rows.iter().map(|r| r.watchpoints_svfg).sum();
+        assert!(
+            sparse < legacy,
+            "sparse slicing never freed a watch slot: {sparse} vs {legacy}"
         );
     }
 

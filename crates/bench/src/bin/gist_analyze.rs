@@ -2,30 +2,55 @@
 //!
 //! Runs the `gist-analysis` passes (IR verifier, lockset race detector,
 //! lock-order deadlock detector, dead-store lint) over MiniC programs and
-//! prints rustc-style diagnostics.
+//! prints rustc-style diagnostics. The `lint` subcommand swaps in the
+//! value-flow detector suite (use-after-free GA020, double-free GA021,
+//! atomicity candidates GA022, null-flow-into-dereference GA023) built on
+//! the sparse value-flow graph with path-feasibility pruning.
 //!
 //! ```text
 //! gist-analyze <file.minic> [more.minic ...]   # analyze source files
 //! gist-analyze --bugbase                       # analyze every bugbase program
+//! gist-analyze lint --bugbase                  # value-flow lints, whole bugbase
+//! gist-analyze lint --json prog.minic          # machine-readable findings
 //! ```
+//!
+//! `--json` emits one JSON document (an array of per-program objects) on
+//! stdout using the hand-rolled `gist_obs::Json` encoder; the findings are
+//! pre-sorted by (severity, location, code, message), so output is
+//! byte-identical across runs.
 //!
 //! Exit status: 0 clean (warnings allowed), 1 if any pass reported an
 //! error, 2 on usage or parse failure.
 
-use gist_analysis::{default_passes, has_errors, render_report};
+use gist_analysis::{
+    default_passes, has_errors, lint_passes, render_report, Diagnostic, PassManager, Severity,
+};
+use gist_ir::Program;
+use gist_obs::json::Json;
+
 use gist_ir::parser::parse_program;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let lint = args.first().map(String::as_str) == Some("lint");
+    if lint {
+        args.remove(0);
+    }
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     if args.is_empty() {
-        eprintln!("usage: gist-analyze <file.minic> [more.minic ...] | --bugbase");
+        eprintln!("usage: gist-analyze [lint] [--json] <file.minic> [more.minic ...] | --bugbase");
         std::process::exit(2);
     }
+    let passes: fn() -> PassManager = if lint { lint_passes } else { default_passes };
     let mut any_errors = false;
+    let mut reports: Vec<Json> = Vec::new();
     if args.iter().any(|a| a == "--bugbase") {
         for bug in gist_bugbase::all_bugs() {
-            println!("=== {} ({}) ===", bug.name, bug.display);
-            any_errors |= analyze(&bug.program);
+            if !json {
+                println!("=== {} ({}) ===", bug.name, bug.display);
+            }
+            any_errors |= analyze(bug.name, &bug.program, passes(), json, &mut reports);
         }
     } else {
         for path in &args {
@@ -49,22 +74,70 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            println!("=== {path} ===");
-            any_errors |= analyze(&program);
+            if !json {
+                println!("=== {path} ===");
+            }
+            any_errors |= analyze(path, &program, passes(), json, &mut reports);
         }
+    }
+    if json {
+        println!("{}", Json::Arr(reports).pretty());
     }
     std::process::exit(if any_errors { 1 } else { 0 });
 }
 
-/// Runs the pass pipeline over one program and prints its report.
-/// Returns true if any diagnostic is an error.
-fn analyze(program: &gist_ir::Program) -> bool {
-    let pm = default_passes();
+/// Runs the pass pipeline over one program. In text mode, prints the
+/// rustc-style report; in JSON mode, appends a per-program object to
+/// `reports`. Returns true if any diagnostic is an error.
+fn analyze(
+    name: &str,
+    program: &Program,
+    pm: PassManager,
+    json: bool,
+    reports: &mut Vec<Json>,
+) -> bool {
     let diags = pm.run(program);
-    if diags.is_empty() {
+    if json {
+        reports.push(program_json(name, program, &diags));
+    } else if diags.is_empty() {
         println!("ok: no findings ({} passes)", pm.pass_names().len());
-        return false;
+    } else {
+        println!("{}", render_report(Some(program), &diags));
     }
-    println!("{}", render_report(Some(program), &diags));
     has_errors(&diags)
+}
+
+/// Encodes one program's findings as a JSON object. Diagnostics arrive
+/// pre-sorted from the pass manager, so the encoding is deterministic.
+fn program_json(name: &str, program: &Program, diags: &[Diagnostic]) -> Json {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let findings = diags
+        .iter()
+        .map(|d| {
+            let where_ = if d.loc.is_unknown() {
+                "<unknown>".to_owned()
+            } else {
+                program.source_map.display(d.loc)
+            };
+            Json::Obj(vec![
+                ("code".into(), Json::Str(d.code.to_owned())),
+                ("severity".into(), Json::Str(d.severity.to_string())),
+                ("message".into(), Json::Str(d.message.clone())),
+                ("where".into(), Json::Str(where_)),
+                (
+                    "notes".into(),
+                    Json::Arr(d.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("program".into(), Json::Str(name.to_owned())),
+        ("errors".into(), Json::U64(errors as u64)),
+        ("warnings".into(), Json::U64((diags.len() - errors) as u64)),
+        ("findings".into(), Json::Arr(findings)),
+    ])
 }

@@ -12,6 +12,7 @@
 //! repro swtrace             # §6 software-only tracing factors
 //! repro ablations           # design-decision ablations (DESIGN.md)
 //! repro dataflow            # alias-aware slicing x dead-store pruning
+//! repro svfg                # sparse value-flow slicing + feasibility pruning
 //! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
 //!   ... sketch <bug> --explain   # + provenance chains from the journal
@@ -45,6 +46,9 @@ fn main() {
         "ablations" => println!("{}", gist_bench::ablations::ablations_text()),
         "dataflow" | "--dataflow" => {
             println!("{}", gist_bench::ablations::dataflow_text());
+        }
+        "svfg" | "--svfg" => {
+            println!("{}", gist_bench::ablations::svfg_text());
         }
         "races" => races(),
         "swtrace" => swtrace(),
@@ -85,7 +89,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow races sketch bugs bench");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow svfg races sketch bugs bench");
             std::process::exit(2);
         }
     }

@@ -42,6 +42,12 @@ pub fn fig10() -> Vec<Fig10Row> {
                     &EvalConfig {
                         enable_control_flow: cf,
                         enable_data_flow: df,
+                        // Legacy slicing in every arm: Fig. 10 isolates the
+                        // *runtime tracking* techniques, and the sparse
+                        // value-flow slice (its own `svfg` ablation) would
+                        // otherwise statically subsume part of what
+                        // data-flow tracking discovers dynamically.
+                        enable_svfg_slicing: false,
                         // Same σ budget in all configurations so the
                         // comparison isolates the tracking technique.
                         stop_at_root_cause: false,

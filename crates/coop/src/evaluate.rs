@@ -32,6 +32,10 @@ pub struct EvalConfig {
     /// Alias-aware slicing via points-to — the `--dataflow` ablation
     /// toggles this off.
     pub enable_alias_slicing: bool,
+    /// Sparse value-flow (SVFG) slicing with path-feasibility pruning —
+    /// the `svfg` ablation toggles this off to quantify the slice and
+    /// watchpoint-pool shrinkage.
+    pub enable_svfg_slicing: bool,
     /// Dead-store pruning of watchpoint plans — the `--dataflow` ablation
     /// toggles this off.
     pub enable_dead_store_pruning: bool,
@@ -55,6 +59,7 @@ impl Default for EvalConfig {
             enable_data_flow: true,
             enable_race_ranking: true,
             enable_alias_slicing: true,
+            enable_svfg_slicing: true,
             enable_dead_store_pruning: true,
             fleet: FleetConfig::default(),
             stop_at_root_cause: true,
@@ -120,6 +125,7 @@ pub fn diagnose_bug(bug: &BugSpec, cfg: &EvalConfig) -> BugEvaluation {
             enable_data_flow: cfg.enable_data_flow,
             enable_race_ranking: cfg.enable_race_ranking,
             enable_alias_slicing: cfg.enable_alias_slicing,
+            enable_svfg_slicing: cfg.enable_svfg_slicing,
             enable_dead_store_pruning: cfg.enable_dead_store_pruning,
             title: format!("Failure Sketch for {}", bug.display),
             bug_class: bug.class.label().to_owned(),

@@ -236,6 +236,8 @@ impl<'p> SketchBuilder<'p> {
                     highlight: highlighted.contains(&stmt),
                     grey: ideal.map(|i| !i.contains(&stmt)).unwrap_or(false),
                     value_note,
+                    // Filled in by the server, which holds the SVFG.
+                    flow_note: None,
                     // Filled in by the server, which holds the journal
                     // anchors (hit/decode/promotion/slice event seq-nos).
                     provenance: Vec::new(),

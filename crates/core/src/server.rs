@@ -47,6 +47,15 @@ pub struct GistConfig {
     /// leaving discovery to watchpoints and race seeding (the `--dataflow`
     /// ablation's "alias off" arm).
     pub enable_alias_slicing: bool,
+    /// Sparse value-flow slicing: walk the SVFG (reaching-def-filtered,
+    /// path-feasibility-pruned, 1-CFA context-bound def-use chains)
+    /// backward from the criterion instead of the flow-insensitive item
+    /// worklist, rank watchpoint candidates by value-flow distance, and
+    /// annotate sketch steps with inter-thread value-flow provenance.
+    /// The SVFG slice is a subset of the legacy slice by construction
+    /// (`repro svfg` quantifies the shrinkage). Requires
+    /// `enable_alias_slicing`; ignored when that is off.
+    pub enable_svfg_slicing: bool,
     /// Dead-store pruning: exclude stores the memory-liveness dataflow
     /// proves are never read/freed/synchronized on from watchpoint plans,
     /// so the four debug registers go to observable accesses.
@@ -70,6 +79,7 @@ impl Default for GistConfig {
             enable_data_flow: true,
             enable_race_ranking: true,
             enable_alias_slicing: true,
+            enable_svfg_slicing: true,
             enable_dead_store_pruning: true,
             title: "Failure Sketch".to_owned(),
             bug_class: "Bug".to_owned(),
@@ -181,9 +191,12 @@ impl<'p> GistServer<'p> {
         gist_obs::begin_trace(&self.config.title);
         let _span_diagnose = gist_obs::span("server.diagnose");
         gist_obs::counter!("server.diagnoses").inc();
+        let use_svfg = self.config.enable_svfg_slicing && self.config.enable_alias_slicing;
         let slice = {
             let _span = gist_obs::span("server.slice");
-            if self.config.enable_alias_slicing {
+            if use_svfg {
+                self.slicer.compute_with_svfg(report.failing_stmt)
+            } else if self.config.enable_alias_slicing {
                 self.slicer.compute(report.failing_stmt)
             } else {
                 self.slicer.compute_without_alias(report.failing_stmt)
@@ -238,8 +251,17 @@ impl<'p> GistServer<'p> {
             dead.remove(&report.failing_stmt);
         }
         drop(_span_analyze);
+        // Value-flow distances (SVFG hops to the failing value) break
+        // priority ties among watchpoint candidates: fewer def-use steps
+        // from the failure means an earlier cooperative watch group.
+        let flow_distances = if use_svfg {
+            self.slicer.svfg().backward_value_flow(report.failing_stmt)
+        } else {
+            Default::default()
+        };
         let planner = Planner::new(self.program, self.slicer.ticfg())
             .with_watch_priority(watch_priority)
+            .with_distance_rank(flow_distances)
             .with_dead_store_filter(dead);
         let builder = SketchBuilder::new(self.program)
             .with_title(&self.config.title)
@@ -372,7 +394,7 @@ impl<'p> GistServer<'p> {
                     iid: predictor_stmt(&stats.predictor).0,
                 });
             }
-            let stmts = if self.config.enable_control_flow {
+            let mut stmts = if self.config.enable_control_flow {
                 refinement.sketch_stmts()
             } else {
                 // Static-only mode: no execution filter available.
@@ -380,9 +402,44 @@ impl<'p> GistServer<'p> {
                 s.extend(&refinement.discovered);
                 s
             };
+            if use_svfg && self.config.enable_data_flow {
+                // Control-context backfill: value-flow-ranked watchpoints
+                // can converge before σ grows past the branch that steers
+                // execution into the failure; the sketch must still show it.
+                stmts.extend(self.slicer.control_context([report.failing_stmt], &slice));
+            }
             if let Some(rep) = &representative {
                 let _span_sketch = gist_obs::span("server.sketch");
                 sketch = builder.build(report, &stmts, rep, &ranked, self.config.beta, ideal);
+                // Inter-thread value-flow provenance: a step that observes
+                // a value an *interleaved* SVFG edge says another thread's
+                // sketch step may have written gets a flow note naming the
+                // writer (the Fig. 1 arrow, derived statically).
+                if use_svfg {
+                    let tid_of: std::collections::HashMap<InstrId, u32> =
+                        sketch.steps.iter().map(|s| (s.stmt, s.tid)).collect();
+                    let svfg = self.slicer.svfg();
+                    for step in &mut sketch.steps {
+                        let flow = svfg
+                            .edges_in(step.stmt)
+                            .iter()
+                            .filter(|e| {
+                                e.kind == gist_analysis::SvfgEdgeKind::Interleaved
+                                    && tid_of.get(&e.def).is_some_and(|&t| t != step.tid)
+                            })
+                            .min_by_key(|e| e.def);
+                        if let Some(e) = flow {
+                            let writer_tid = tid_of[&e.def];
+                            let at = self
+                                .program
+                                .stmt_loc(e.def)
+                                .map(|l| self.program.source_map.display(l))
+                                .unwrap_or_else(|| e.def.to_string());
+                            step.flow_note =
+                                Some(format!("value may flow from T{writer_tid} write at {at}"));
+                        }
+                    }
+                }
                 // Attach provenance: the most specific runtime evidence
                 // first (latest watchpoint hit at this statement in the
                 // representative run), then that run's PT decode, then the

@@ -89,6 +89,7 @@ mod tests {
                     highlight: false,
                     grey: false,
                     value_note: None,
+                    flow_note: None,
                     provenance: Vec::new(),
                 })
                 .collect(),

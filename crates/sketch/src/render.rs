@@ -60,6 +60,22 @@ pub fn render(sketch: &FailureSketch) -> String {
         out.push('\n');
     }
 
+    let flows: Vec<&crate::sketch::SketchStep> = sketch
+        .steps
+        .iter()
+        .filter(|s| s.flow_note.is_some())
+        .collect();
+    if !flows.is_empty() {
+        out.push_str("\nInter-thread value flow:\n");
+        for s in flows {
+            out.push_str(&format!(
+                "  step {:>3}  {}\n",
+                s.step,
+                s.flow_note.as_deref().unwrap_or_default()
+            ));
+        }
+    }
+
     if !sketch.predictors.is_empty() {
         out.push_str("\nBest failure predictors (Fβ, β=0.5):\n");
         for p in &sketch.predictors {
@@ -126,6 +142,7 @@ mod tests {
                     highlight: false,
                     grey: false,
                     value_note: None,
+                    flow_note: None,
                     provenance: Vec::new(),
                 },
                 SketchStep {
@@ -137,6 +154,7 @@ mod tests {
                     highlight: true,
                     grey: false,
                     value_note: Some("0".into()),
+                    flow_note: None,
                     provenance: vec![4, 2],
                 },
                 SketchStep {
@@ -148,6 +166,7 @@ mod tests {
                     highlight: true,
                     grey: false,
                     value_note: Some("0  <- Failure (segfault)".into()),
+                    flow_note: Some("value from T1 store at pbzip2.c:21".into()),
                     provenance: vec![7, 2],
                 },
             ],
@@ -194,6 +213,19 @@ mod tests {
         let text = render(&demo_sketch());
         let row = text.lines().find(|l| l.contains("mutex_unlock")).unwrap();
         assert!(row.contains("Failure (segfault)"));
+    }
+
+    #[test]
+    fn flow_notes_render_as_a_section() {
+        let text = render(&demo_sketch());
+        assert!(text.contains("Inter-thread value flow:"));
+        assert!(text.contains("step   3  value from T1 store at pbzip2.c:21"));
+        // A sketch without flow notes omits the section entirely.
+        let mut s = demo_sketch();
+        for step in &mut s.steps {
+            step.flow_note = None;
+        }
+        assert!(!render(&s).contains("Inter-thread value flow"));
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct SketchStep {
     /// Data value annotation shown in the value column at this step
     /// (e.g. `0` for `f->mut` at the failing step of Fig. 1).
     pub value_note: Option<String>,
+    /// Inter-thread value-flow provenance: where the value this step
+    /// observes may have been written by *another thread*, per the sparse
+    /// value-flow graph's interleaved edges (e.g. `value from T1 store at
+    /// pbzip2.c:21`). Rendered as a section under the sketch table.
+    pub flow_note: Option<String>,
     /// Provenance chain: flight-recorder journal sequence numbers of the
     /// evidence that put this step in the sketch, most specific first
     /// (watchpoint hit → PT decode → promotion decision → slice
@@ -139,6 +144,7 @@ mod tests {
             highlight: false,
             grey,
             value_note: None,
+            flow_note: None,
             provenance: Vec::new(),
         }
     }

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use gist_analysis::points_to::{Loc, LocSet, MemOrigin, PointsTo};
+use gist_analysis::svfg::{Svfg, SvfgEdgeKind};
 use gist_ir::icfg::Icfg;
 use gist_ir::{InstrId, Op, Operand, Program, Terminator};
 
@@ -97,6 +98,10 @@ pub struct StaticSlicer<'p> {
     /// by def-use chains, and pulling every aliasing write in a sequential
     /// program is exactly the slice blow-up §3.1 warns about.
     shared_origins: std::collections::BTreeSet<MemOrigin>,
+    /// The sparse value-flow graph: def-use chains with 1-CFA call/return
+    /// binding and path-feasibility pruning. [`StaticSlicer::compute_with_svfg`]
+    /// walks it instead of the flow-insensitive item worklist.
+    svfg: Svfg,
 }
 
 impl<'p> StaticSlicer<'p> {
@@ -125,6 +130,7 @@ impl<'p> StaticSlicer<'p> {
             }
         }
         let shared_origins = gist_analysis::shared_origins_with(program, &ticfg);
+        let svfg = Svfg::build_with(program, &ticfg, &pts);
         StaticSlicer {
             program,
             ticfg,
@@ -133,7 +139,14 @@ impl<'p> StaticSlicer<'p> {
             pts,
             write_locs,
             shared_origins,
+            svfg,
         }
+    }
+
+    /// The sparse value-flow graph (shared with the sketch engine for
+    /// inter-thread provenance annotations).
+    pub fn svfg(&self) -> &Svfg {
+        &self.svfg
     }
 
     /// The abstract cells a slice statement may read (or, for a store,
@@ -249,6 +262,87 @@ impl<'p> StaticSlicer<'p> {
     /// free alias analysis would cost (bench: `repro ablations`).
     pub fn compute_with_crude_alias(&self, criterion: InstrId) -> Slice {
         self.compute_inner(criterion, AliasMode::Crude)
+    }
+
+    /// Computes the backward slice over the sparse value-flow graph.
+    ///
+    /// Instead of the flow-insensitive item worklist, this walks SVFG
+    /// edges backward from the criterion with 1-CFA context binding
+    /// (return edges record the call site; parameter edges only ascend to
+    /// a matching one) plus the control-dependence closure. Every pull is
+    /// a filtered version of what [`StaticSlicer::compute`] would pull —
+    /// reaching-def filtering, path-feasibility pruning, and context
+    /// matching only *remove* statements — so the SVFG slice is a subset
+    /// of the legacy slice for the same criterion, and the distances are
+    /// value-flow hops rather than raw TICFG steps (the re-ranking signal
+    /// the instrumentation planner consumes).
+    pub fn compute_with_svfg(&self, criterion: InstrId) -> Slice {
+        let feasible = self.feasible(criterion);
+        let mut dist: HashMap<InstrId, u64> = HashMap::new();
+        let mut members: HashSet<InstrId> = HashSet::new();
+        let mut seen: HashSet<(InstrId, Option<InstrId>)> = HashSet::new();
+        let mut q: VecDeque<(InstrId, Option<InstrId>, u64)> = VecDeque::new();
+        seen.insert((criterion, None));
+        q.push_back((criterion, None, 0));
+        while let Some((s, ctx, d)) = q.pop_front() {
+            members.insert(s);
+            let e = dist.entry(s).or_insert(d);
+            if *e > d {
+                *e = d;
+            }
+            for edge in self.svfg.edges_in(s) {
+                let (next_ctx, ok) = match edge.kind {
+                    // Descending into a callee: remember the call site.
+                    SvfgEdgeKind::Ret(c) => (Some(c), true),
+                    // Ascending to a caller: only through the call site we
+                    // came in by (or any, if the walk started here).
+                    SvfgEdgeKind::Param(c) => (None, ctx.is_none() || ctx == Some(c)),
+                    _ => (ctx, true),
+                };
+                if !ok || !feasible.contains_key(&edge.def) {
+                    continue;
+                }
+                if seen.insert((edge.def, next_ctx)) {
+                    q.push_back((edge.def, next_ctx, d + 1));
+                }
+            }
+            for br in self.cdeps.controlling_branches(self.program, s) {
+                if feasible.contains_key(&br) && seen.insert((br, ctx)) {
+                    q.push_back((br, ctx, d + 1));
+                }
+            }
+        }
+        Slice::new(criterion, members, &dist)
+    }
+
+    /// The control context of `stmts`: each statement's controlling
+    /// branches plus the register defs feeding the branch conditions (via
+    /// direct SVFG edges), restricted to members of `slice`.
+    ///
+    /// The sketch engine backfills these so a concise early-σ sketch still
+    /// shows the branch that steered execution into the failure (the
+    /// `if (!rc)` of the Apache sketch) even when adaptive tracking stops
+    /// before σ grows past it.
+    pub fn control_context(
+        &self,
+        stmts: impl IntoIterator<Item = InstrId>,
+        slice: &Slice,
+    ) -> std::collections::BTreeSet<InstrId> {
+        let mut out = std::collections::BTreeSet::new();
+        for s in stmts {
+            for br in self.cdeps.controlling_branches(self.program, s) {
+                if !slice.contains(br) {
+                    continue;
+                }
+                out.insert(br);
+                for edge in self.svfg.edges_in(br) {
+                    if edge.kind == SvfgEdgeKind::Direct && slice.contains(edge.def) {
+                        out.insert(edge.def);
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn compute_inner(&self, criterion: InstrId, alias: AliasMode) -> Slice {
@@ -896,6 +990,121 @@ entry:
             with.contains(store_p),
             "alias-aware slice resolves the pointer to $cell"
         );
+    }
+
+    #[test]
+    fn svfg_slice_is_subset_and_keeps_pbzip2_root_cause() {
+        let text = r#"
+fn cons(q) {
+entry:
+  m = load q
+  lock m
+  unlock m
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  mu = alloc 1
+  store q, mu
+  t = spawn cons(q)
+  free mu
+  store q, 0
+  join t
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let cons = p.function_by_name("cons").unwrap();
+        let crit = cons.blocks[0].instrs[1].id;
+        let slicer = StaticSlicer::new(&p);
+        let svfg = slicer.compute_with_svfg(crit);
+        let legacy = slicer.compute(crit);
+        for id in &svfg.ordered {
+            assert!(legacy.contains(*id), "SVFG slice ⊆ legacy slice");
+        }
+        let main = p.function_by_name("main").unwrap();
+        assert!(
+            svfg.contains(main.blocks[0].instrs[4].id),
+            "racing free survives the sparse slice"
+        );
+        assert!(
+            svfg.contains(main.blocks[0].instrs[5].id),
+            "racing store-null survives the sparse slice"
+        );
+        assert_eq!(svfg.ordered[0], svfg.criterion);
+    }
+
+    #[test]
+    fn svfg_slice_prunes_constprop_dead_stores() {
+        // The legacy slicer pulls both stores of $g; the SVFG slice drops
+        // the one behind `if (1)`'s dead arm.
+        let text = r#"
+global g = 0
+fn main() {
+entry:
+  c = const 1
+  condbr c, yes, no
+no:
+  store $g, 7
+  br done
+yes:
+  store $g, 9
+  br done
+done:
+  v = load $g
+  assert v, "boom"
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let main = &p.functions[0];
+        // Block ids follow first-reference order: entry, yes, no, done.
+        let store_live = main.blocks[1].instrs[0].id;
+        let store_dead = main.blocks[2].instrs[0].id;
+        let load = main.blocks[3].instrs[0].id;
+        let slicer = StaticSlicer::new(&p);
+        let legacy = slicer.compute(load);
+        let sparse = slicer.compute_with_svfg(load);
+        assert!(legacy.contains(store_dead), "legacy over-approximates");
+        assert!(!sparse.contains(store_dead), "SVFG slice prunes it");
+        assert!(sparse.contains(store_live));
+        assert!(sparse.len() < legacy.len());
+    }
+
+    #[test]
+    fn svfg_slice_context_sensitivity_drops_unrelated_call_chain() {
+        // Two calls to the same identity function; the criterion consumes
+        // r1, so b (the other call's argument) must stay out.
+        let text = r#"
+fn id(x) {
+entry:
+  ret x
+}
+fn main() {
+entry:
+  a = const 1
+  b = const 2
+  r1 = call id(a)
+  r2 = call id(b)
+  assert r1, "boom"
+  ret
+}
+"#;
+        let p = parse_program("t", text).unwrap();
+        let main = p.function_by_name("main").unwrap();
+        let a_def = main.blocks[0].instrs[0].id;
+        let b_def = main.blocks[0].instrs[1].id;
+        let crit = main.blocks[0].instrs[4].id;
+        let slicer = StaticSlicer::new(&p);
+        let sparse = slicer.compute_with_svfg(crit);
+        assert!(sparse.contains(a_def), "r1's argument source in slice");
+        assert!(
+            !sparse.contains(b_def),
+            "the other call site's argument stays out (1-CFA)"
+        );
+        // The legacy slicer, being context-insensitive, keeps both.
+        assert!(slicer.compute(crit).contains(b_def));
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct Planner<'p> {
     ticfg: &'p Icfg,
     watch_priority: Vec<InstrId>,
     dead_stores: BTreeSet<InstrId>,
+    value_flow_distance: HashMap<InstrId, u64>,
 }
 
 impl<'p> Planner<'p> {
@@ -26,7 +27,26 @@ impl<'p> Planner<'p> {
             ticfg,
             watch_priority: Vec::new(),
             dead_stores: BTreeSet::new(),
+            value_flow_distance: HashMap::new(),
         }
+    }
+
+    /// Ranks watchpoint candidates by their value-flow distance to the
+    /// failure point (SVFG hops): among statements of equal race-rank
+    /// priority, the ones fewer def-use steps from the failing value are
+    /// armed in earlier cooperative groups.
+    ///
+    /// The distance map also *prunes* the candidate pool: a store with no
+    /// value-flow path to the criterion at all writes a value the failure
+    /// can never observe, so watching it only pads the cooperative
+    /// schedule. Loads are kept even without a distance — their observed
+    /// value can steer a branch predicate the sparse graph does not model
+    /// as value flow into the criterion. Race-priority statements are
+    /// always kept (the detector ranked them for discovery, not value
+    /// provenance).
+    pub fn with_distance_rank(mut self, distances: HashMap<InstrId, u64>) -> Planner<'p> {
+        self.value_flow_distance = distances;
+        self
     }
 
     /// Excludes statically-dead stores from watchpoint planning: a store
@@ -56,11 +76,87 @@ impl<'p> Planner<'p> {
     /// accesses whose address is not statically stack-derived (Gist does
     /// not track stack variables, §3.2.3).
     pub fn watch_candidates(&self, tracked: &[InstrId]) -> Vec<InstrId> {
-        tracked
+        let mut out: Vec<InstrId> = tracked
             .iter()
             .copied()
-            .filter(|&s| !self.dead_stores.contains(&s) && self.is_watch_candidate(s))
-            .collect()
+            .filter(|&s| {
+                !self.dead_stores.contains(&s)
+                    && self.is_watch_candidate(s)
+                    && self.flows_to_failure(s)
+            })
+            .collect();
+        if !self.value_flow_distance.is_empty() {
+            out.retain(|&s| self.arms_its_cell(s, tracked));
+        }
+        out
+    }
+
+    /// One armer per cell per basic block: a watchpoint arms an *address*
+    /// and stays armed for the rest of the run, so once a block's first
+    /// access to a cell arms it, the block's later accesses to the same
+    /// cell trap without needing an arming bit of their own. Dropping them
+    /// from the candidate pool shortens the cooperative watch schedule
+    /// without losing coverage (every cell still has an armer in some
+    /// group). Applied only under the sparse value-flow plan, whose
+    /// per-cell def-use chains this mirrors statically.
+    ///
+    /// `s` survives unless an earlier tracked candidate in the same block
+    /// accesses the same syntactic cell with no redefinition of the
+    /// address register in between.
+    fn arms_its_cell(&self, s: InstrId, tracked: &[InstrId]) -> bool {
+        let Some(pos) = self.program.stmt_pos(s) else {
+            return true;
+        };
+        let Some(addr) = self.program.instr(s).and_then(|i| i.op.access_addr()) else {
+            return true;
+        };
+        let block = self.program.functions[pos.func.index()].block(pos.block);
+        for earlier in tracked {
+            let Some(epos) = self.program.stmt_pos(*earlier) else {
+                continue;
+            };
+            if epos.func != pos.func || epos.block != pos.block || epos.index >= pos.index {
+                continue;
+            }
+            let Some(einstr) = self.program.instr(*earlier) else {
+                continue;
+            };
+            if einstr.op.access_addr() != Some(addr)
+                || self.dead_stores.contains(earlier)
+                || !self.is_watch_candidate(*earlier)
+                || !self.flows_to_failure(*earlier)
+            {
+                continue;
+            }
+            // The earlier access arms the same cell — unless the address
+            // register is redefined between the two statements.
+            let redefined = match addr {
+                Operand::Var(v) => block.instrs[epos.index + 1..pos.index]
+                    .iter()
+                    .any(|i| i.op.def() == Some(v)),
+                Operand::Global(_) | Operand::Const(_) => false,
+            };
+            if !redefined {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True unless the value-flow distance map proves `s` is a store whose
+    /// value cannot reach the failure (see [`Planner::with_distance_rank`]).
+    fn flows_to_failure(&self, s: InstrId) -> bool {
+        if self.value_flow_distance.is_empty()
+            || self.value_flow_distance.contains_key(&s)
+            || self.watch_priority.contains(&s)
+        {
+            return true;
+        }
+        !self
+            .program
+            .instr(s)
+            .map(|i| i.op.is_memory_write())
+            .unwrap_or(false)
     }
 
     fn is_watch_candidate(&self, s: InstrId) -> bool {
@@ -351,15 +447,21 @@ impl<'p> Planner<'p> {
         patch: &mut InstrumentationPatch,
     ) {
         let mut candidates = self.watch_candidates(tracked);
-        if !self.watch_priority.is_empty() {
+        if !self.watch_priority.is_empty() || !self.value_flow_distance.is_empty() {
             let rank: HashMap<InstrId, usize> = self
                 .watch_priority
                 .iter()
                 .enumerate()
                 .map(|(i, &s)| (s, i))
                 .collect();
-            // Stable: unranked statements keep slice order behind ranked ones.
-            candidates.sort_by_key(|s| rank.get(s).copied().unwrap_or(usize::MAX));
+            // Stable: race rank first, then value-flow distance to the
+            // failure, then slice order for the rest.
+            candidates.sort_by_key(|s| {
+                (
+                    rank.get(s).copied().unwrap_or(usize::MAX),
+                    self.value_flow_distance.get(s).copied().unwrap_or(u64::MAX),
+                )
+            });
         }
         let groups: Vec<&[InstrId]> = candidates.chunks(WATCH_BUDGET).collect();
         if groups.is_empty() {
@@ -620,6 +722,98 @@ entry:
             .plan(&all, 1);
         assert!(ranked.watch_accesses.is_disjoint(&g1.watch_accesses));
         assert_eq!(ranked.watch_accesses.len() + g1.watch_accesses.len(), 6);
+    }
+
+    #[test]
+    fn value_flow_distance_breaks_ties_within_priority_tiers() {
+        // No race priority: distances alone decide group membership. Give
+        // the last two slice sites the smallest distances and they must
+        // displace earlier sites from group 0. (Each site touches its own
+        // global so the per-block cell dedup stays out of the way.)
+        let (p, g) = setup(
+            r#"
+global a = 0
+global b = 0
+global c = 0
+global d = 0
+global e = 0
+global f = 0
+fn main() {
+entry:
+  v1 = load $a
+  v2 = load $b
+  v3 = load $c
+  store $d, v1
+  store $e, v2
+  store $f, v3
+  assert v1, "x"
+  ret
+}
+"#,
+        );
+        let main = &p.functions[0];
+        let all: Vec<InstrId> = main.blocks[0].instrs.iter().map(|i| i.id).collect();
+        let store_e = main.blocks[0].instrs[4].id;
+        let store_f = main.blocks[0].instrs[5].id;
+        let mut dist = HashMap::new();
+        dist.insert(store_e, 1u64);
+        dist.insert(store_f, 2u64);
+        let patch = Planner::new(&p, &g).with_distance_rank(dist).plan(&all, 0);
+        assert!(patch.watch_accesses.contains(&store_e));
+        assert!(patch.watch_accesses.contains(&store_f));
+        // Race priority still wins over distance.
+        let v1 = main.blocks[0].instrs[0].id;
+        let mut dist2 = HashMap::new();
+        dist2.insert(store_f, 0u64);
+        let patch2 = Planner::new(&p, &g)
+            .with_watch_priority(vec![v1])
+            .with_distance_rank(dist2)
+            .plan(&all, 0);
+        assert!(patch2.watch_accesses.contains(&v1), "priority tier first");
+        assert!(patch2.watch_accesses.contains(&store_f), "then distance");
+    }
+
+    #[test]
+    fn distance_map_prunes_flowless_stores_and_redundant_armers() {
+        // `store $a, v1` follows `v1 = load $a` in the same block: the
+        // load's arming already covers the cell, so under a distance map
+        // the store sheds its arming bit. `store $b, v2` has no value-flow
+        // distance at all, so it leaves the pool entirely; the loads stay
+        // (branch predicates may need their values). Without a distance
+        // map the pool is untouched.
+        let (p, g) = setup(
+            r#"
+global a = 0
+global b = 0
+fn main() {
+entry:
+  v1 = load $a
+  v2 = load $b
+  store $a, v1
+  store $b, v2
+  assert v1, "x"
+  ret
+}
+"#,
+        );
+        let main = &p.functions[0];
+        let all: Vec<InstrId> = main.blocks[0].instrs.iter().map(|i| i.id).collect();
+        let load_a = main.blocks[0].instrs[0].id;
+        let load_b = main.blocks[0].instrs[1].id;
+        let store_a = main.blocks[0].instrs[2].id;
+
+        let plain = Planner::new(&p, &g);
+        assert_eq!(plain.watch_candidates(&all).len(), 4, "no map: full pool");
+
+        let mut dist = HashMap::new();
+        dist.insert(store_a, 1u64);
+        let ranked = Planner::new(&p, &g).with_distance_rank(dist);
+        let pool = ranked.watch_candidates(&all);
+        assert_eq!(
+            pool,
+            vec![load_a, load_b],
+            "store_a deduped behind load_a, store_b dropped as flowless"
+        );
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! `gist-analyze` output is deterministic: repeated runs over the same
+//! inputs produce byte-identical stdout, in every mode (default and lint
+//! pipelines, text and `--json` rendering).
+//!
+//! Determinism is what makes the golden-lint gate and the CI findings
+//! artifact meaningful — a nondeterministically ordered report would churn
+//! on every run.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gist-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn gist-analyze");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn assert_repeatable(args: &[&str]) -> String {
+    let (first, code1) = run(args);
+    let (second, code2) = run(args);
+    assert_eq!(code1, code2, "{args:?}: exit code changed between runs");
+    assert_eq!(
+        first, second,
+        "{args:?}: output differs between identical runs"
+    );
+    assert!(!first.is_empty(), "{args:?}: produced no output");
+    first
+}
+
+#[test]
+fn default_pipeline_text_output_is_byte_identical() {
+    let out = assert_repeatable(&["--bugbase"]);
+    assert!(out.contains("=== apache-45605"), "per-bug headers present");
+}
+
+#[test]
+fn lint_pipeline_text_output_is_byte_identical() {
+    let out = assert_repeatable(&["lint", "--bugbase"]);
+    assert!(out.contains("GA020"), "lint suite ran: UAF finding present");
+}
+
+#[test]
+fn json_output_is_byte_identical_and_parses() {
+    for args in [
+        &["--json", "--bugbase"][..],
+        &["lint", "--json", "--bugbase"][..],
+    ] {
+        let out = assert_repeatable(args);
+        let parsed = gist_obs::json::Json::parse(&out)
+            .unwrap_or_else(|e| panic!("{args:?}: --json output does not parse: {e}"));
+        match parsed {
+            gist_obs::json::Json::Arr(programs) => {
+                assert_eq!(
+                    programs.len(),
+                    gist_bugbase::all_bugs().len(),
+                    "{args:?}: one JSON object per bugbase program"
+                );
+            }
+            other => panic!("{args:?}: expected a top-level array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden snapshot tests for the gist-lint detector suite.
+//!
+//! Every bugbase bug's lint report (the value-flow detectors GA020–GA023
+//! plus the shared verifier/dead-store passes) is pinned byte-for-byte
+//! under `tests/golden/<bug>.lints`. A detector or SVFG change that alters
+//! any finding fails here with a line diff.
+//!
+//! To accept intentional changes, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p gist-bench --test golden_lints
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gist_analysis::{lint_passes, render_report, Severity};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// A readable line diff: every differing line as `-expected` / `+actual`.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                let _ = writeln!(out, "  line {:>3} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(out, "  line {:>3} + {a}", i + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Renders one bug's lint report exactly as `gist-analyze lint` prints it.
+fn lint_report(bug: &gist_bugbase::BugSpec) -> String {
+    let pm = lint_passes();
+    let diags = pm.run(&bug.program);
+    if diags.is_empty() {
+        format!("ok: no findings ({} passes)\n", pm.pass_names().len())
+    } else {
+        render_report(Some(&bug.program), &diags)
+    }
+}
+
+fn check_bug(bug: &gist_bugbase::BugSpec, failures: &mut Vec<String>) {
+    let rendered = lint_report(bug);
+    let path = golden_dir().join(format!("{}.lints", bug.name));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!(
+                "{}: no golden snapshot at {} ({e}); run with UPDATE_GOLDEN=1",
+                bug.name,
+                path.display()
+            ));
+            return;
+        }
+    };
+    if golden != rendered {
+        failures.push(format!(
+            "{}: lint report differs from {} (UPDATE_GOLDEN=1 to accept):\n{}",
+            bug.name,
+            path.display(),
+            line_diff(&golden, &rendered)
+        ));
+    }
+}
+
+#[test]
+fn lint_reports_match_golden_snapshots() {
+    let mut failures = Vec::new();
+    for bug in &gist_bugbase::all_bugs() {
+        check_bug(bug, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "{} lint report(s) changed:\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The detectors never report an error-severity diagnostic on the bugbase
+/// (the miniatures are real bugs, flagged as warnings) and never flag the
+/// sequential single-thread programs with a concurrency lint.
+#[test]
+fn lint_suite_flags_known_bugs_without_false_positives() {
+    let concurrency_codes = ["GA020", "GA021", "GA022"];
+    for bug in gist_bugbase::all_bugs() {
+        let diags = lint_passes().run(&bug.program);
+        for d in &diags {
+            assert_eq!(
+                d.severity,
+                Severity::Warning,
+                "{}: lint {} must be a warning on runnable bugbase code",
+                bug.name,
+                d.code
+            );
+        }
+        let threads = bug.program.functions.iter().any(|f| {
+            f.blocks
+                .iter()
+                .flat_map(|b| b.instrs.iter())
+                .any(|i| matches!(i.op, gist_ir::Op::ThreadCreate { .. }))
+        });
+        if !threads {
+            for d in &diags {
+                assert!(
+                    !concurrency_codes.contains(&d.code),
+                    "{}: sequential program flagged with concurrency lint {}",
+                    bug.name,
+                    d.code
+                );
+            }
+        }
+    }
+}
