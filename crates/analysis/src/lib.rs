@@ -46,6 +46,18 @@
 //! candidates ranked by interleaving pattern (`GA022`), and Casper-style
 //! null-value flow into dereferences (`GA023`).
 //!
+//! The third static pillar is the **happens-before/MHP relation**
+//! ([`mhp`]): a thread-structure-aware happens-before graph (spawn/join
+//! edges, lock regions, join-before-spawn chaining) solved into a
+//! per-pair fact lattice — must-precede > sequential > lock-excluded >
+//! parallel. It screens the lint suite's cross-thread findings, adds the
+//! order-violation detector (`GA024`), lets the watchpoint planner and
+//! the Gist server skip never-parallel stores and statically-impossible
+//! interleaving hypotheses, and drives the [`predict`] module's *static
+//! predicted failure sketches*: per finding, the minimal two-thread
+//! ordering behind the failure, diffable against the dynamic sketches
+//! the runtime pipeline reconstructs.
+//!
 //! Analyses are packaged as [`pass::Pass`]es run by a [`pass::PassManager`]
 //! over a shared [`pass::AnalysisCtx`], so new passes can reuse the lazily
 //! built TICFG.
@@ -54,8 +66,10 @@ pub mod dataflow;
 pub mod deadlock;
 pub mod diag;
 pub mod lint;
+pub mod mhp;
 pub mod pass;
 pub mod points_to;
+pub mod predict;
 pub mod race;
 pub mod svfg;
 pub mod verify;
@@ -67,9 +81,13 @@ pub use dataflow::{
 };
 pub use deadlock::{DeadlockAnalysis, DeadlockCycle, DeadlockLintPass, LockOrderEdge};
 pub use diag::{has_errors, render_report, sort_diagnostics, Diagnostic, Severity};
-pub use lint::{lint_passes, AtomicityLintPass, AvPattern, NullFlowLintPass, UafLintPass};
+pub use lint::{
+    lint_passes, AtomicityLintPass, AvPattern, NullFlowLintPass, OrderLintPass, UafLintPass,
+};
+pub use mhp::{LockRegion, LockSummary, Mhp, OrderFact};
 pub use pass::{default_passes, AnalysisCtx, Pass, PassManager};
 pub use points_to::{Loc, LocSet, MemOrigin, PointsTo};
+pub use predict::{predicted_sketches, render_prediction, PredictedSketch, PredictedStep};
 pub use race::{
     analyze, analyze_with, shared_origins_with, AccessKind, RaceAnalysis, RaceCandidate,
     RaceEndpoint,

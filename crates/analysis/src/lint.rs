@@ -1,7 +1,8 @@
 //! The `gist-lint` detector suite: static bug detectors built on the
-//! sparse value-flow graph ([`crate::svfg::Svfg`]).
+//! sparse value-flow graph ([`crate::svfg::Svfg`]) and the
+//! may-happen-in-parallel relation ([`crate::mhp::Mhp`]).
 //!
-//! Three detector families, each reporting rustc-style diagnostics whose
+//! Four detector families, each reporting rustc-style diagnostics whose
 //! `note:` lines spell out the value-flow chain behind the finding:
 //!
 //! * **Lifetime** ([`UafLintPass`]) — `GA020` use-after-free and `GA021`
@@ -10,36 +11,53 @@
 //!   allocation site (so a free-then-realloc loop is not a false
 //!   positive); cross-thread findings come from race candidates with a
 //!   `free` endpoint (the pbzip2 shape: the mutex freed under a thread
-//!   still locking it).
+//!   still locking it), screened by the MHP relation so a free that is
+//!   ordered after the last use (a free past the `join`, say) no longer
+//!   surfaces.
 //! * **Atomicity** ([`AtomicityLintPass`]) — `GA022`
 //!   atomicity-violation candidates: a shared cell accessed both with
 //!   and without lock protection, where a remote access can interleave
 //!   between two same-thread accesses. Candidates are classified and
 //!   ranked by the classic access-interleaving patterns
-//!   ([`AvPattern`]: RWR, WWR, RWW, WRW).
+//!   ([`AvPattern`]: RWR, WWR, RWW, WRW); remotes that cannot overlap
+//!   the local window (MHP-negative against both endpoints) are
+//!   dropped.
 //! * **Null flow** ([`NullFlowLintPass`]) — `GA023` Casper-style null
 //!   provenance: a stored constant zero that flows along SVFG memory
 //!   edges into a load whose result is then dereferenced. A branch that
 //!   checks the loaded pointer against zero on every path to the
-//!   dereference suppresses the finding
-//!   ([`crate::svfg::Feasibility::reachable_with_null`]).
+//!   dereference suppresses the finding; an interleaved (cross-thread)
+//!   null store that is ordered *after* the dereference cannot reach it
+//!   and is dropped.
+//! * **Ordering** ([`OrderLintPass`]) — `GA024` order violations:
+//!   cross-thread use-before-init (a heap load with a may-parallel
+//!   initializing store and no store ordered before it) and
+//!   free-before-last-use (an unordered free/use pair the race arm
+//!   cannot see because a common lock hides it — locks serialize, they
+//!   do not order).
 //!
-//! All three are silent on sequential memory-safe programs by
-//! construction: the lifetime and atomicity detectors' cross-thread arms
-//! need shared origins / race candidates (empty when single-threaded),
-//! and the same-thread arms need a real free→use path or a null store
-//! that actually reaches a dereference.
+//! All four are silent on sequential memory-safe programs by
+//! construction: the cross-thread arms need shared origins / race
+//! candidates / an MHP relation with actual threads, and the
+//! same-thread arms need a real free→use path or a null store that
+//! actually reaches a dereference.
+//!
+//! When several SVFG chains reach the same (finding, statement) pair,
+//! the shortest chain (resolved deterministically by source location,
+//! then statement id) backs the diagnostic, and literally duplicated
+//! note lines are removed while preserving note order.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use gist_ir::icfg::Ticfg;
 use gist_ir::{FuncId, InstrId, Op, Operand, Program, SrcLoc};
 
 use crate::dataflow::{ConstProp, ConstVal};
 use crate::diag::Diagnostic;
+use crate::mhp::{Mhp, OrderFact};
 use crate::pass::{AnalysisCtx, Pass, PassManager};
 use crate::points_to::{Loc, MemOrigin, PointsTo};
-use crate::race::{analyze_with, locksets_with, AccessKind, RaceCandidate};
+use crate::race::{analyze_with, locksets_with, AccessKind};
 use crate::svfg::{Svfg, SvfgEdgeKind};
 
 /// The atomicity-violation interleaving patterns, in rank order (most
@@ -92,11 +110,11 @@ impl AvPattern {
     }
 }
 
-fn loc_of(program: &Program, s: InstrId) -> SrcLoc {
+pub(crate) fn loc_of(program: &Program, s: InstrId) -> SrcLoc {
     program.stmt_loc(s).unwrap_or(SrcLoc::UNKNOWN)
 }
 
-fn where_of(program: &Program, s: InstrId) -> String {
+pub(crate) fn where_of(program: &Program, s: InstrId) -> String {
     program
         .stmt_loc(s)
         .map(|l| program.source_map.display(l))
@@ -131,6 +149,120 @@ fn access_locs(program: &Program, pts: &PointsTo, func: FuncId, s: InstrId) -> B
     }
 }
 
+/// Removes literally duplicated note lines, preserving first-seen order.
+/// Distinct SVFG chains that land on the same (finding, statement) pair
+/// render the same note text; one copy carries all the information.
+fn dedup_notes(mut d: Diagnostic) -> Diagnostic {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    d.notes.retain(|n| seen.insert(n.clone()));
+    d
+}
+
+/// A free→use lifetime pair backing a `GA020`/`GA021` finding.
+#[derive(Clone, Copy, Debug)]
+pub struct LifetimePair {
+    /// The freeing statement.
+    pub free: InstrId,
+    /// The later use (or second free).
+    pub used: InstrId,
+    /// The freed cell.
+    pub origin: MemOrigin,
+    /// The cell's allocation site.
+    pub alloc_site: InstrId,
+    /// True when the pair comes from the cross-thread (race) arm.
+    pub cross_thread: bool,
+}
+
+/// Computes the lifetime pairs the `GA020`/`GA021` diagnostics report:
+/// the same-thread forward-reach arm plus the cross-thread race arm,
+/// the latter screened by MHP (a free ordered after the last use — past
+/// the `join`, say — is not a lifetime bug).
+pub fn lifetime_pairs(program: &Program, ticfg: &Ticfg) -> Vec<LifetimePair> {
+    let pts = PointsTo::compute(program, ticfg);
+    let mhp = Mhp::compute(program, ticfg);
+    let mut found: Vec<LifetimePair> = Vec::new();
+    let mut seen: BTreeSet<(InstrId, InstrId)> = BTreeSet::new();
+
+    // Same-thread arm: forward walk from each free, stopping at the
+    // freed origin's allocation site (a re-executed `alloc` makes the
+    // pointer valid again, so flows through it are not lifetime bugs).
+    for f in &program.functions {
+        for b in &f.blocks {
+            for instr in &b.instrs {
+                let Op::Free { addr } = &instr.op else {
+                    continue;
+                };
+                let free_id = instr.id;
+                for l in pts.operand_origins(f.id, *addr) {
+                    let MemOrigin::Heap(alloc_site) = l.origin else {
+                        continue; // frees of non-heap memory are GA0xx verifier turf
+                    };
+                    for reached in forward_reach(ticfg, free_id, alloc_site) {
+                        if reached == free_id {
+                            continue;
+                        }
+                        let Some(rfunc) = program.stmt_func(reached) else {
+                            continue;
+                        };
+                        let locs = access_locs(program, &pts, rfunc, reached);
+                        if !locs.iter().any(|rl| rl.origin == l.origin) {
+                            continue;
+                        }
+                        if seen.insert((free_id, reached)) {
+                            found.push(LifetimePair {
+                                free: free_id,
+                                used: reached,
+                                origin: l.origin,
+                                alloc_site,
+                                cross_thread: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cross-thread arm: race candidates with a free endpoint. The
+    // racing access has no program-order edge from the free, so the
+    // forward walk cannot see it; the race detector's context and
+    // lockset reasoning establishes that the two can conflict, and the
+    // MHP relation screens pairs the thread structure orders anyway.
+    let races = analyze_with(program, ticfg);
+    for c in &races.candidates {
+        let (free_ep, other_ep) = match (c.first.kind, c.second.kind) {
+            (AccessKind::Free, _) => (&c.first, &c.second),
+            (_, AccessKind::Free) => (&c.second, &c.first),
+            _ => continue,
+        };
+        let MemOrigin::Heap(alloc_site) = c.origin else {
+            continue;
+        };
+        // Keep genuinely-unordered pairs, and pairs where the free is
+        // guaranteed first (a definite use-after-free). A use that is
+        // ordered before the free (e.g. the free sits after the join)
+        // is a false positive the race detector cannot rule out.
+        let ordered_safe = mhp.must_precede(other_ep.stmt, free_ep.stmt);
+        let can_conflict = mhp.may_happen_in_parallel(free_ep.stmt, other_ep.stmt)
+            || mhp.must_precede(free_ep.stmt, other_ep.stmt);
+        if ordered_safe || !can_conflict {
+            continue;
+        }
+        if seen.insert((free_ep.stmt, other_ep.stmt)) {
+            found.push(LifetimePair {
+                free: free_ep.stmt,
+                used: other_ep.stmt,
+                origin: c.origin,
+                alloc_site,
+                cross_thread: true,
+            });
+        }
+    }
+
+    found.sort_by_key(|p| (loc_of(program, p.used), p.free, p.used));
+    found
+}
+
 /// `GA020` use-after-free / `GA021` double-free along value flows.
 #[derive(Default)]
 pub struct UafLintPass {
@@ -140,93 +272,23 @@ pub struct UafLintPass {
 
 impl UafLintPass {
     fn run_inner(&self, program: &Program, ticfg: &Ticfg) -> Vec<Diagnostic> {
-        let pts = PointsTo::compute(program, ticfg);
-        let mut found: Vec<(InstrId, InstrId, Diagnostic)> = Vec::new();
-        let mut seen: BTreeSet<(InstrId, InstrId)> = BTreeSet::new();
-
-        // Same-thread arm: forward walk from each free, stopping at the
-        // freed origin's allocation site (a re-executed `alloc` makes the
-        // pointer valid again, so flows through it are not lifetime bugs).
-        for f in &program.functions {
-            for b in &f.blocks {
-                for instr in &b.instrs {
-                    let Op::Free { addr } = &instr.op else {
-                        continue;
-                    };
-                    let free_id = instr.id;
-                    for l in pts.operand_origins(f.id, *addr) {
-                        let MemOrigin::Heap(alloc_site) = l.origin else {
-                            continue; // frees of non-heap memory are GA0xx verifier turf
-                        };
-                        for reached in forward_reach(ticfg, free_id, alloc_site) {
-                            if reached == free_id {
-                                continue;
-                            }
-                            let Some(rfunc) = program.stmt_func(reached) else {
-                                continue;
-                            };
-                            let locs = access_locs(program, &pts, rfunc, reached);
-                            if !locs.iter().any(|rl| rl.origin == l.origin) {
-                                continue;
-                            }
-                            if seen.insert((free_id, reached)) {
-                                found.push(lifetime_finding(
-                                    program, free_id, reached, l.origin, alloc_site, false,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Cross-thread arm: race candidates with a free endpoint. The
-        // racing access has no program-order edge from the free, so the
-        // forward walk cannot see it; the race detector's context and
-        // lockset reasoning establishes that the two can interleave.
-        let races = analyze_with(program, ticfg);
-        for c in &races.candidates {
-            let (free_ep, other_ep) = match (c.first.kind, c.second.kind) {
-                (AccessKind::Free, _) => (&c.first, &c.second),
-                (_, AccessKind::Free) => (&c.second, &c.first),
-                _ => continue,
-            };
-            let MemOrigin::Heap(alloc_site) = c.origin else {
-                continue;
-            };
-            if seen.insert((free_ep.stmt, other_ep.stmt)) {
-                found.push(lifetime_finding(
-                    program,
-                    free_ep.stmt,
-                    other_ep.stmt,
-                    c.origin,
-                    alloc_site,
-                    true,
-                ));
-            }
-        }
-
-        found.sort_by_key(|(free, used, _)| (loc_of(program, *used), *free, *used));
         let limit = self.limit.unwrap_or(8);
-        found.into_iter().take(limit).map(|(_, _, d)| d).collect()
+        lifetime_pairs(program, ticfg)
+            .into_iter()
+            .take(limit)
+            .map(|p| dedup_notes(lifetime_finding(program, &p)))
+            .collect()
     }
 }
 
 /// Builds the GA020/GA021 diagnostic for a free→use pair.
-fn lifetime_finding(
-    program: &Program,
-    free: InstrId,
-    used: InstrId,
-    origin: MemOrigin,
-    alloc_site: InstrId,
-    cross_thread: bool,
-) -> (InstrId, InstrId, Diagnostic) {
+fn lifetime_finding(program: &Program, p: &LifetimePair) -> Diagnostic {
     let is_double_free = program
-        .instr(used)
+        .instr(p.used)
         .map(|i| matches!(i.op, Op::Free { .. }))
         .unwrap_or(false);
-    let cell = origin.display(program);
-    let how = if cross_thread {
+    let cell = p.origin.display(program);
+    let how = if p.cross_thread {
         "may race with"
     } else {
         "is reached by"
@@ -236,7 +298,7 @@ fn lifetime_finding(
             "GA021",
             format!(
                 "double free of {cell}: the free at {} {how} another free",
-                where_of(program, free)
+                where_of(program, p.free)
             ),
         )
     } else {
@@ -244,8 +306,8 @@ fn lifetime_finding(
             "GA020",
             format!(
                 "use after free of {cell}: freed at {}, {} the use",
-                where_of(program, free),
-                if cross_thread {
+                where_of(program, p.free),
+                if p.cross_thread {
                     "which may race with"
                 } else {
                     "on a path to"
@@ -253,10 +315,9 @@ fn lifetime_finding(
             ),
         )
     };
-    let d = d
-        .at(loc_of(program, used))
-        .with_note(format!("allocated at {}", where_of(program, alloc_site)))
-        .with_note(format!("freed at {}", where_of(program, free)))
+    d.at(loc_of(program, p.used))
+        .with_note(format!("allocated at {}", where_of(program, p.alloc_site)))
+        .with_note(format!("freed at {}", where_of(program, p.free)))
         .with_note(format!(
             "{} at {}",
             if is_double_free {
@@ -264,9 +325,8 @@ fn lifetime_finding(
             } else {
                 "used"
             },
-            where_of(program, used)
-        ));
-    (free, used, d)
+            where_of(program, p.used)
+        ))
 }
 
 /// Statements forward-reachable from `from` in the TICFG without passing
@@ -300,6 +360,132 @@ impl Pass for UafLintPass {
     }
 }
 
+/// One ranked atomicity-violation candidate backing a `GA022` finding.
+#[derive(Clone, Copy, Debug)]
+pub struct AvCandidate {
+    /// The interleaving pattern, in rank order.
+    pub pattern: AvPattern,
+    /// The inconsistently-locked cell.
+    pub origin: MemOrigin,
+    /// First local access.
+    pub first: InstrId,
+    /// The remote access that can interleave.
+    pub remote: InstrId,
+    /// Second local access.
+    pub second: InstrId,
+}
+
+/// Computes the best atomicity-violation candidate per inconsistently
+/// locked origin. Remote accesses the MHP relation orders entirely
+/// before or after the local window cannot interleave and are skipped.
+pub fn atomicity_candidates(program: &Program, ticfg: &Ticfg) -> Vec<AvCandidate> {
+    let (stmt_ls, pts) = locksets_with(program, ticfg);
+    let races = analyze_with(program, ticfg);
+    let svfg = Svfg::build_with(program, ticfg, &pts);
+    let feas = &svfg.feasibility;
+    let mhp = Mhp::compute(program, ticfg);
+
+    // Per-origin locking consistency: some access protected, some not.
+    let mut locked: BTreeSet<MemOrigin> = BTreeSet::new();
+    let mut unlocked: BTreeSet<MemOrigin> = BTreeSet::new();
+    let mut data_accesses: Vec<(InstrId, FuncId, AccessKind, BTreeSet<MemOrigin>)> = Vec::new();
+    for f in &program.functions {
+        for b in &f.blocks {
+            for instr in &b.instrs {
+                let kind = match &instr.op {
+                    Op::Load { .. } => AccessKind::Read,
+                    Op::Store { .. } => AccessKind::Write,
+                    Op::Free { .. } => AccessKind::Free,
+                    _ => continue,
+                };
+                let origins: BTreeSet<MemOrigin> = access_locs(program, &pts, f.id, instr.id)
+                    .into_iter()
+                    .map(|l| l.origin)
+                    .collect();
+                if origins.is_empty() {
+                    continue;
+                }
+                let has_lock = stmt_ls
+                    .get(&instr.id)
+                    .map(|ls| !ls.is_empty())
+                    .unwrap_or(false);
+                for &o in &origins {
+                    if has_lock {
+                        locked.insert(o);
+                    } else {
+                        unlocked.insert(o);
+                    }
+                }
+                data_accesses.push((instr.id, f.id, kind, origins));
+            }
+        }
+    }
+    let inconsistent: BTreeSet<MemOrigin> = locked.intersection(&unlocked).copied().collect();
+
+    // A race candidate supplies the (local, remote) skeleton: the two
+    // sides can interleave. Complete it with a second local access on
+    // the same origin reachable from (or reaching) the local side.
+    let mut best: HashMap<MemOrigin, (AvPattern, InstrId, InstrId, InstrId)> = HashMap::new();
+    for c in &races.candidates {
+        if !inconsistent.contains(&c.origin) {
+            continue;
+        }
+        for (local, remote) in [(&c.first, &c.second), (&c.second, &c.first)] {
+            let Some(lfunc) = program.stmt_func(local.stmt) else {
+                continue;
+            };
+            for (partner, pfunc, pkind, porigins) in &data_accesses {
+                if *partner == local.stmt || *pfunc != lfunc {
+                    continue;
+                }
+                if !porigins.contains(&c.origin) {
+                    continue;
+                }
+                // Order the local pair by intra-procedural flow.
+                let triples = [
+                    (local.stmt, local.kind, *partner, *pkind),
+                    (*partner, *pkind, local.stmt, local.kind),
+                ];
+                for (s1, k1, s2, k2) in triples {
+                    if !feas.intra_path_feasible(program, s1, s2) || s1 == s2 {
+                        continue;
+                    }
+                    // MHP screen: the remote must be able to land
+                    // inside the (s1, s2) window — a remote ordered
+                    // before s1 or after s2 by thread structure cannot.
+                    if !mhp.may_happen_in_parallel(remote.stmt, s1)
+                        && !mhp.may_happen_in_parallel(remote.stmt, s2)
+                    {
+                        continue;
+                    }
+                    let Some(pattern) = AvPattern::classify(k1, remote.kind, k2) else {
+                        continue;
+                    };
+                    let cand = (pattern, s1, remote.stmt, s2);
+                    match best.get(&c.origin) {
+                        Some(prev) if *prev <= cand => {}
+                        _ => {
+                            best.insert(c.origin, cand);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<AvCandidate> = best
+        .into_iter()
+        .map(|(origin, (pattern, first, remote, second))| AvCandidate {
+            pattern,
+            origin,
+            first,
+            remote,
+            second,
+        })
+        .collect();
+    out.sort_by_key(|c| (c.pattern, loc_of(program, c.first), c.first, c.remote));
+    out
+}
+
 /// `GA022` atomicity-violation candidates on inconsistently-locked
 /// shared cells, ranked by interleaving pattern.
 #[derive(Default)]
@@ -310,132 +496,44 @@ pub struct AtomicityLintPass {
 
 impl AtomicityLintPass {
     fn run_inner(&self, program: &Program, ticfg: &Ticfg) -> Vec<Diagnostic> {
-        let (stmt_ls, pts) = locksets_with(program, ticfg);
-        let races = analyze_with(program, ticfg);
-        let svfg = Svfg::build_with(program, ticfg, &pts);
-        let feas = &svfg.feasibility;
-
-        // Per-origin locking consistency: some access protected, some not.
-        let mut locked: BTreeSet<MemOrigin> = BTreeSet::new();
-        let mut unlocked: BTreeSet<MemOrigin> = BTreeSet::new();
-        let mut data_accesses: Vec<(InstrId, FuncId, AccessKind, BTreeSet<MemOrigin>)> = Vec::new();
-        for f in &program.functions {
-            for b in &f.blocks {
-                for instr in &b.instrs {
-                    let kind = match &instr.op {
-                        Op::Load { .. } => AccessKind::Read,
-                        Op::Store { .. } => AccessKind::Write,
-                        Op::Free { .. } => AccessKind::Free,
-                        _ => continue,
-                    };
-                    let origins: BTreeSet<MemOrigin> = access_locs(program, &pts, f.id, instr.id)
-                        .into_iter()
-                        .map(|l| l.origin)
-                        .collect();
-                    if origins.is_empty() {
-                        continue;
-                    }
-                    let has_lock = stmt_ls
-                        .get(&instr.id)
-                        .map(|ls| !ls.is_empty())
-                        .unwrap_or(false);
-                    for &o in &origins {
-                        if has_lock {
-                            locked.insert(o);
-                        } else {
-                            unlocked.insert(o);
-                        }
-                    }
-                    data_accesses.push((instr.id, f.id, kind, origins));
-                }
-            }
-        }
-        let inconsistent: BTreeSet<MemOrigin> = locked.intersection(&unlocked).copied().collect();
-
-        // A race candidate supplies the (local, remote) skeleton: the two
-        // sides can interleave. Complete it with a second local access on
-        // the same origin reachable from (or reaching) the local side.
-        let mut best: HashMap<MemOrigin, (AvPattern, InstrId, InstrId, InstrId)> = HashMap::new();
-        for c in &races.candidates {
-            if !inconsistent.contains(&c.origin) {
-                continue;
-            }
-            for (local, remote) in [(&c.first, &c.second), (&c.second, &c.first)] {
-                let Some(lfunc) = program.stmt_func(local.stmt) else {
-                    continue;
-                };
-                for (partner, pfunc, pkind, porigins) in &data_accesses {
-                    if *partner == local.stmt || *pfunc != lfunc {
-                        continue;
-                    }
-                    if !porigins.contains(&c.origin) {
-                        continue;
-                    }
-                    // Order the local pair by intra-procedural flow.
-                    let triples = [
-                        (local.stmt, local.kind, *partner, *pkind),
-                        (*partner, *pkind, local.stmt, local.kind),
-                    ];
-                    for (s1, k1, s2, k2) in triples {
-                        if !feas.intra_path_feasible(program, s1, s2) || s1 == s2 {
-                            continue;
-                        }
-                        let Some(pattern) = AvPattern::classify(k1, remote_kind(remote), k2) else {
-                            continue;
-                        };
-                        let cand = (pattern, s1, remote.stmt, s2);
-                        match best.get(&c.origin) {
-                            Some(prev) if *prev <= cand => {}
-                            _ => {
-                                best.insert(c.origin, cand);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut found: Vec<((AvPattern, SrcLoc), Diagnostic)> = Vec::new();
-        for (origin, (pattern, s1, r, s2)) in best {
-            let cell = origin.display(program);
-            let d = Diagnostic::warning(
-                "GA022",
-                format!(
-                    "atomicity violation ({}) on {cell}: a remote access can interleave \
-                     between two same-thread accesses",
-                    pattern.label()
-                ),
-            )
-            .at(loc_of(program, s1))
-            .with_note(format!(
-                "local {} at {}",
-                kind_at(program, s1),
-                where_of(program, s1)
-            ))
-            .with_note(format!(
-                "remote {} at {} can interleave here",
-                kind_at(program, r),
-                where_of(program, r)
-            ))
-            .with_note(format!(
-                "local {} at {}",
-                kind_at(program, s2),
-                where_of(program, s2)
-            ))
-            .with_note("cell is lock-protected on some accesses but not all".to_owned());
-            found.push(((pattern, loc_of(program, s1)), d));
-        }
-        found.sort_by_key(|a| a.0);
         let limit = self.limit.unwrap_or(8);
-        found.into_iter().take(limit).map(|(_, d)| d).collect()
+        atomicity_candidates(program, ticfg)
+            .into_iter()
+            .take(limit)
+            .map(|c| {
+                let cell = c.origin.display(program);
+                let d = Diagnostic::warning(
+                    "GA022",
+                    format!(
+                        "atomicity violation ({}) on {cell}: a remote access can interleave \
+                         between two same-thread accesses",
+                        c.pattern.label()
+                    ),
+                )
+                .at(loc_of(program, c.first))
+                .with_note(format!(
+                    "local {} at {}",
+                    kind_at(program, c.first),
+                    where_of(program, c.first)
+                ))
+                .with_note(format!(
+                    "remote {} at {} can interleave here",
+                    kind_at(program, c.remote),
+                    where_of(program, c.remote)
+                ))
+                .with_note(format!(
+                    "local {} at {}",
+                    kind_at(program, c.second),
+                    where_of(program, c.second)
+                ))
+                .with_note("cell is lock-protected on some accesses but not all".to_owned());
+                dedup_notes(d)
+            })
+            .collect()
     }
 }
 
-fn remote_kind(e: &crate::race::RaceEndpoint) -> AccessKind {
-    e.kind
-}
-
-fn kind_at(program: &Program, s: InstrId) -> &'static str {
+pub(crate) fn kind_at(program: &Program, s: InstrId) -> &'static str {
     match program.instr(s).map(|i| &i.op) {
         Some(Op::Load { .. }) => "read",
         Some(Op::Store { .. }) => "write",
@@ -457,6 +555,115 @@ impl Pass for AtomicityLintPass {
     }
 }
 
+/// One null-store→load→dereference chain backing a `GA023` finding.
+#[derive(Clone, Copy, Debug)]
+pub struct NullFlow {
+    /// The store of constant zero.
+    pub store: InstrId,
+    /// The load the zero flows into.
+    pub load: InstrId,
+    /// The dereference of the loaded value.
+    pub deref: InstrId,
+    /// True when the store reaches the load across threads.
+    pub interleaved: bool,
+}
+
+/// Computes null-flow chains. When several loads connect the same
+/// (store, dereference) pair, the chain through the earliest-located
+/// load is kept (the shortest chain, resolved deterministically by
+/// source location then statement id). Cross-thread stores that the
+/// thread structure orders after the dereference cannot reach it and
+/// are dropped.
+pub fn null_flows(program: &Program, ticfg: &Ticfg) -> Vec<NullFlow> {
+    let pts = PointsTo::compute(program, ticfg);
+    let svfg = Svfg::build_with(program, ticfg, &pts);
+    let consts = ConstProp::compute(program, ticfg);
+    let mhp = Mhp::compute(program, ticfg);
+    // (store, deref) -> best (loc, load, interleaved)
+    let mut best: BTreeMap<(InstrId, InstrId), (SrcLoc, InstrId, bool)> = BTreeMap::new();
+
+    for f in &program.functions {
+        for b in &f.blocks {
+            for instr in &b.instrs {
+                // A dereference through a register address.
+                let addr = match &instr.op {
+                    Op::Load { addr, .. }
+                    | Op::Store { addr, .. }
+                    | Op::Free { addr }
+                    | Op::MutexLock { addr }
+                    | Op::MutexUnlock { addr } => *addr,
+                    _ => continue,
+                };
+                let Operand::Var(v) = addr else { continue };
+                let deref = instr.id;
+                if !svfg.feasibility.stmt_live(program, deref) {
+                    continue;
+                }
+                // The pointer's reaching loads.
+                for e in svfg.edges_in(deref) {
+                    if e.kind != SvfgEdgeKind::Direct {
+                        continue;
+                    }
+                    let load = e.def;
+                    let Some(Op::Load { dst, .. }) = program.instr(load).map(|i| &i.op) else {
+                        continue;
+                    };
+                    if *dst != v {
+                        continue;
+                    }
+                    // Null stores flowing into that load's cell.
+                    for we in svfg.edges_in(load) {
+                        if !matches!(we.kind, SvfgEdgeKind::Memory | SvfgEdgeKind::Interleaved) {
+                            continue;
+                        }
+                        let w = we.def;
+                        let Some(Op::Store { value, .. }) = program.instr(w).map(|i| &i.op) else {
+                            continue;
+                        };
+                        let wfunc = program.stmt_func(w).expect("indexed");
+                        if consts.operand_const(wfunc, *value) != ConstVal::Const(0) {
+                            continue;
+                        }
+                        let interleaved = we.kind == SvfgEdgeKind::Interleaved;
+                        // A cross-thread store ordered after the load
+                        // can never be the value the load observes.
+                        if interleaved && mhp.must_precede(load, w) {
+                            continue;
+                        }
+                        // Suppressed when a null check guards every
+                        // path from the load to the dereference.
+                        if !svfg
+                            .feasibility
+                            .reachable_with_null(program, load, deref, v)
+                        {
+                            continue;
+                        }
+                        let key = (w, deref);
+                        let cand = (loc_of(program, load), load, interleaved);
+                        match best.get(&key) {
+                            Some(prev) if *prev <= cand => {}
+                            _ => {
+                                best.insert(key, cand);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<NullFlow> = best
+        .into_iter()
+        .map(|((store, deref), (_, load, interleaved))| NullFlow {
+            store,
+            load,
+            deref,
+            interleaved,
+        })
+        .collect();
+    out.sort_by_key(|n| (loc_of(program, n.deref), n.store, n.deref));
+    out
+}
+
 /// `GA023` null-value flow into a dereference (Casper-style provenance).
 #[derive(Default)]
 pub struct NullFlowLintPass {
@@ -466,91 +673,29 @@ pub struct NullFlowLintPass {
 
 impl NullFlowLintPass {
     fn run_inner(&self, program: &Program, ticfg: &Ticfg) -> Vec<Diagnostic> {
-        let pts = PointsTo::compute(program, ticfg);
-        let svfg = Svfg::build_with(program, ticfg, &pts);
-        let consts = ConstProp::compute(program, ticfg);
-        let mut found: Vec<(SrcLoc, Diagnostic)> = Vec::new();
-        let mut seen: BTreeSet<(InstrId, InstrId)> = BTreeSet::new();
-
-        for f in &program.functions {
-            for b in &f.blocks {
-                for instr in &b.instrs {
-                    // A dereference through a register address.
-                    let addr = match &instr.op {
-                        Op::Load { addr, .. }
-                        | Op::Store { addr, .. }
-                        | Op::Free { addr }
-                        | Op::MutexLock { addr }
-                        | Op::MutexUnlock { addr } => *addr,
-                        _ => continue,
-                    };
-                    let Operand::Var(v) = addr else { continue };
-                    let deref = instr.id;
-                    if !svfg.feasibility.stmt_live(program, deref) {
-                        continue;
-                    }
-                    // The pointer's reaching loads.
-                    for e in svfg.edges_in(deref) {
-                        if e.kind != SvfgEdgeKind::Direct {
-                            continue;
-                        }
-                        let load = e.def;
-                        let Some(Op::Load { dst, .. }) = program.instr(load).map(|i| &i.op) else {
-                            continue;
-                        };
-                        if *dst != v {
-                            continue;
-                        }
-                        // Null stores flowing into that load's cell.
-                        for we in svfg.edges_in(load) {
-                            if !matches!(we.kind, SvfgEdgeKind::Memory | SvfgEdgeKind::Interleaved)
-                            {
-                                continue;
-                            }
-                            let w = we.def;
-                            let Some(Op::Store { value, .. }) = program.instr(w).map(|i| &i.op)
-                            else {
-                                continue;
-                            };
-                            let wfunc = program.stmt_func(w).expect("indexed");
-                            if consts.operand_const(wfunc, *value) != ConstVal::Const(0) {
-                                continue;
-                            }
-                            // Suppressed when a null check guards every
-                            // path from the load to the dereference.
-                            if !svfg
-                                .feasibility
-                                .reachable_with_null(program, load, deref, v)
-                            {
-                                continue;
-                            }
-                            if !seen.insert((w, deref)) {
-                                continue;
-                            }
-                            let d = Diagnostic::warning(
-                                "GA023",
-                                format!(
-                                    "possible null dereference: the value stored at {} may be \
-                                     zero when dereferenced",
-                                    where_of(program, w)
-                                ),
-                            )
-                            .at(loc_of(program, deref))
-                            .with_note(format!("null (0) stored at {}", where_of(program, w)))
-                            .with_note(format!("loaded at {}", where_of(program, load)))
-                            .with_note(format!(
-                                "dereferenced without a null check at {}",
-                                where_of(program, deref)
-                            ));
-                            found.push((loc_of(program, deref), d));
-                        }
-                    }
-                }
-            }
-        }
-        found.sort_by_key(|a| a.0);
         let limit = self.limit.unwrap_or(8);
-        found.into_iter().take(limit).map(|(_, d)| d).collect()
+        null_flows(program, ticfg)
+            .into_iter()
+            .take(limit)
+            .map(|n| {
+                let d = Diagnostic::warning(
+                    "GA023",
+                    format!(
+                        "possible null dereference: the value stored at {} may be \
+                         zero when dereferenced",
+                        where_of(program, n.store)
+                    ),
+                )
+                .at(loc_of(program, n.deref))
+                .with_note(format!("null (0) stored at {}", where_of(program, n.store)))
+                .with_note(format!("loaded at {}", where_of(program, n.load)))
+                .with_note(format!(
+                    "dereferenced without a null check at {}",
+                    where_of(program, n.deref)
+                ));
+                dedup_notes(d)
+            })
+            .collect()
     }
 }
 
@@ -566,20 +711,241 @@ impl Pass for NullFlowLintPass {
     }
 }
 
+/// What a `GA024` order violation looks like.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OrderViolationKind {
+    /// A load may run before any store initializes the heap cell.
+    UseBeforeInit,
+    /// A free and a use with no happens-before edge between them.
+    FreeBeforeUse,
+}
+
+/// One cross-thread order violation backing a `GA024` finding.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderViolation {
+    /// The violation shape.
+    pub kind: OrderViolationKind,
+    /// The statement that should run first (the init store / the use).
+    pub expected_first: InstrId,
+    /// The statement that may overtake it (the use / the free).
+    pub racing: InstrId,
+    /// The cell the pair touches.
+    pub origin: MemOrigin,
+    /// True when a common lock serializes (but does not order) the pair.
+    pub lock_excluded: bool,
+}
+
+/// Computes cross-thread order violations: heap loads no initializing
+/// store is ordered before, and unordered free/use pairs that the race
+/// arm misses because a common lock hides them. Pairs the lifetime
+/// detector already reports are skipped.
+pub fn order_violations(program: &Program, ticfg: &Ticfg) -> Vec<OrderViolation> {
+    let mhp = Mhp::compute(program, ticfg);
+    if !mhp.has_threads() {
+        return Vec::new();
+    }
+    let pts = PointsTo::compute(program, ticfg);
+    let shared = crate::race::shared_origins_with(program, ticfg);
+    let svfg = Svfg::build_with(program, ticfg, &pts);
+
+    // All live data accesses on shared origins.
+    let mut reads: Vec<(InstrId, MemOrigin)> = Vec::new();
+    let mut writes: Vec<(InstrId, MemOrigin)> = Vec::new();
+    let mut frees: Vec<(InstrId, MemOrigin)> = Vec::new();
+    let mut uses: Vec<(InstrId, MemOrigin)> = Vec::new();
+    for f in &program.functions {
+        for b in &f.blocks {
+            for instr in &b.instrs {
+                if !svfg.feasibility.stmt_live(program, instr.id) {
+                    continue;
+                }
+                let origins: Vec<MemOrigin> = access_locs(program, &pts, f.id, instr.id)
+                    .into_iter()
+                    .map(|l| l.origin)
+                    .filter(|o| shared.contains(o))
+                    .collect();
+                for &o in &origins {
+                    match &instr.op {
+                        Op::Load { .. } => {
+                            reads.push((instr.id, o));
+                            uses.push((instr.id, o));
+                        }
+                        Op::Store { .. } => {
+                            writes.push((instr.id, o));
+                            uses.push((instr.id, o));
+                        }
+                        Op::MutexLock { .. } | Op::MutexUnlock { .. } => {
+                            uses.push((instr.id, o));
+                        }
+                        Op::Free { .. } => frees.push((instr.id, o)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    let reported: BTreeSet<(InstrId, InstrId)> = lifetime_pairs(program, ticfg)
+        .into_iter()
+        .flat_map(|p| [(p.free, p.used), (p.used, p.free)])
+        .collect();
+
+    let mut out: Vec<OrderViolation> = Vec::new();
+    let mut seen: BTreeSet<(InstrId, InstrId)> = BTreeSet::new();
+
+    // Use-before-init: a heap load with a may-parallel store and no
+    // store ordered before it. Globals are initialized at startup, so
+    // only heap cells (initialized by explicit stores) qualify.
+    for &(load, o) in &reads {
+        if !matches!(o, MemOrigin::Heap(_)) {
+            continue;
+        }
+        let stores_o: Vec<InstrId> = writes
+            .iter()
+            .filter(|&&(_, wo)| wo == o)
+            .map(|&(w, _)| w)
+            .collect();
+        if stores_o.is_empty() {
+            continue;
+        }
+        if stores_o.iter().any(|&s| mhp.must_precede(s, load)) {
+            continue; // some initialization is ordered before the use
+        }
+        let Some(&racing_init) = stores_o
+            .iter()
+            .find(|&&s| mhp.may_happen_in_parallel(load, s))
+        else {
+            continue;
+        };
+        if seen.insert((racing_init, load)) {
+            out.push(OrderViolation {
+                kind: OrderViolationKind::UseBeforeInit,
+                expected_first: racing_init,
+                racing: load,
+                origin: o,
+                lock_excluded: mhp.common_lock(racing_init, load),
+            });
+        }
+    }
+
+    // Free-before-last-use: an unordered free/use pair. The lifetime
+    // detector's race arm already covers lock-free pairs; this arm
+    // catches the ones a common lock hides (locks serialize, they do
+    // not order).
+    for &(free, o) in &frees {
+        for &(used, uo) in &uses {
+            if uo != o || used == free {
+                continue;
+            }
+            if reported.contains(&(free, used)) {
+                continue;
+            }
+            let fact = mhp.order_fact(free, used);
+            if !matches!(fact, OrderFact::Parallel | OrderFact::Excluded) {
+                continue;
+            }
+            if seen.insert((used, free)) {
+                out.push(OrderViolation {
+                    kind: OrderViolationKind::FreeBeforeUse,
+                    expected_first: used,
+                    racing: free,
+                    origin: o,
+                    lock_excluded: fact == OrderFact::Excluded,
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|v| {
+        (
+            loc_of(program, v.racing),
+            loc_of(program, v.expected_first),
+            v.racing,
+        )
+    });
+    out
+}
+
+/// `GA024` cross-thread order violations (use-before-init and
+/// free-before-last-use with no happens-before edge).
+#[derive(Default)]
+pub struct OrderLintPass {
+    /// Cap on reported findings (default 8).
+    pub limit: Option<usize>,
+}
+
+impl OrderLintPass {
+    fn run_inner(&self, program: &Program, ticfg: &Ticfg) -> Vec<Diagnostic> {
+        let limit = self.limit.unwrap_or(8);
+        order_violations(program, ticfg)
+            .into_iter()
+            .take(limit)
+            .map(|v| {
+                let cell = v.origin.display(program);
+                let d = match v.kind {
+                    OrderViolationKind::UseBeforeInit => Diagnostic::warning(
+                        "GA024",
+                        format!(
+                            "order violation on {cell}: the read at {} may run before \
+                             the initializing store",
+                            where_of(program, v.racing)
+                        ),
+                    )
+                    .at(loc_of(program, v.racing))
+                    .with_note(format!(
+                        "initialized at {}",
+                        where_of(program, v.expected_first)
+                    ))
+                    .with_note(format!("read at {}", where_of(program, v.racing)))
+                    .with_note("no happens-before edge orders the pair".to_owned()),
+                    OrderViolationKind::FreeBeforeUse => Diagnostic::warning(
+                        "GA024",
+                        format!(
+                            "order violation on {cell}: the free at {} may run before \
+                             the last use",
+                            where_of(program, v.racing)
+                        ),
+                    )
+                    .at(loc_of(program, v.racing))
+                    .with_note(format!("used at {}", where_of(program, v.expected_first)))
+                    .with_note(format!("freed at {}", where_of(program, v.racing)))
+                    .with_note("no happens-before edge orders the pair".to_owned()),
+                };
+                let d = if v.lock_excluded {
+                    d.with_note(
+                        "a common lock serializes the pair but does not order it".to_owned(),
+                    )
+                } else {
+                    d
+                };
+                dedup_notes(d)
+            })
+            .collect()
+    }
+}
+
+impl Pass for OrderLintPass {
+    fn name(&self) -> &'static str {
+        "order-lint"
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> Vec<Diagnostic> {
+        let program = cx.program;
+        let ticfg = cx.ticfg();
+        self.run_inner(program, ticfg)
+    }
+}
+
 /// The `gist-lint` pipeline: the IR verifier (malformed programs fail
-/// fast) followed by the three SVFG-based detectors.
+/// fast) followed by the four SVFG/MHP-based detectors.
 pub fn lint_passes() -> PassManager {
     PassManager::new()
         .with_pass(crate::verify::VerifierPass)
         .with_pass(UafLintPass::default())
         .with_pass(AtomicityLintPass::default())
         .with_pass(NullFlowLintPass::default())
+        .with_pass(OrderLintPass::default())
 }
-
-/// Suppress an unused-import warning path: RaceCandidate is part of the
-/// public reasoning surface referenced in docs.
-#[allow(dead_code)]
-fn _doc_anchor(_: &RaceCandidate) {}
 
 #[cfg(test)]
 mod tests {
@@ -706,6 +1072,39 @@ entry:
     }
 
     #[test]
+    fn free_after_join_is_not_a_cross_thread_uaf() {
+        // Identical shape, but the free happens after the join: the
+        // thread structure orders every worker access before the free,
+        // so the MHP screen suppresses the race-arm candidate.
+        let diags = lint(
+            r#"
+fn cons(q) {
+entry:
+  m = load q
+  lock m
+  unlock m
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  mu = alloc 1
+  store q, mu
+  t = spawn cons(q)
+  join t
+  free mu
+  store q, 0
+  ret
+}
+"#,
+        );
+        assert!(
+            !codes(&diags).contains(&"GA020") && !codes(&diags).contains(&"GA024"),
+            "the join orders the free after the last use: {diags:?}"
+        );
+    }
+
+    #[test]
     fn inconsistently_locked_shared_counter_is_an_atomicity_candidate() {
         let diags = lint(
             r#"
@@ -816,6 +1215,121 @@ skip:
     }
 
     #[test]
+    fn unordered_heap_init_is_an_order_violation() {
+        // The initializing store races the worker's read: no
+        // happens-before edge guarantees the cell is set first.
+        let diags = lint(
+            r#"
+fn worker(q) {
+entry:
+  v = load q
+  print v
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  t = spawn worker(q)
+  store q, 7
+  join t
+  ret
+}
+"#,
+        );
+        assert!(
+            codes(&diags).contains(&"GA024"),
+            "use may precede init: {diags:?}"
+        );
+        let d = diags.iter().find(|d| d.code == "GA024").unwrap();
+        assert!(
+            d.message.contains("before"),
+            "names the ordering problem: {}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn ordered_heap_init_is_clean() {
+        // Same program, but the store dominates the spawn: ordered.
+        let diags = lint(
+            r#"
+fn worker(q) {
+entry:
+  v = load q
+  print v
+  ret
+}
+fn main() {
+entry:
+  q = alloc 1
+  store q, 7
+  t = spawn worker(q)
+  join t
+  ret
+}
+"#,
+        );
+        assert!(
+            !codes(&diags).contains(&"GA024"),
+            "pre-spawn init is ordered: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn lock_hidden_unordered_free_is_an_order_violation() {
+        // Both sides hold the same lock, so the lockset race arm is
+        // silent — but the lock only serializes the pair; nothing
+        // orders the free after the worker's use.
+        let diags = lint(
+            r#"
+global cell = 0
+global lk = 0
+fn worker(arg) {
+entry:
+  lock $lk
+  p = load $cell
+  v = load p
+  unlock $lk
+  ret
+}
+fn main() {
+entry:
+  b = alloc 1
+  store b, 5
+  store $cell, b
+  t = spawn worker(0)
+  lock $lk
+  free b
+  unlock $lk
+  join t
+  ret
+}
+"#,
+        );
+        let order: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "GA024").collect();
+        assert!(
+            !order.is_empty(),
+            "lock-excluded free/use pair is unordered: {diags:?}"
+        );
+        assert!(
+            order
+                .iter()
+                .any(|d| d.notes.iter().any(|n| n.contains("common lock"))),
+            "the lock-exclusion note is present: {order:?}"
+        );
+    }
+
+    #[test]
+    fn notes_are_deduplicated() {
+        let d = Diagnostic::warning("GA020", "x")
+            .with_note("a".to_owned())
+            .with_note("b".to_owned())
+            .with_note("a".to_owned());
+        let d = dedup_notes(d);
+        assert_eq!(d.notes, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
     fn av_pattern_classification() {
         use AccessKind::*;
         assert_eq!(AvPattern::classify(Read, Write, Read), Some(AvPattern::Rwr));
@@ -839,7 +1353,13 @@ skip:
     fn lint_pipeline_names() {
         assert_eq!(
             lint_passes().pass_names(),
-            vec!["verify", "uaf-lint", "atomicity-lint", "null-flow-lint"]
+            vec![
+                "verify",
+                "uaf-lint",
+                "atomicity-lint",
+                "null-flow-lint",
+                "order-lint"
+            ]
         );
     }
 }

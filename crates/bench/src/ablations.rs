@@ -12,6 +12,7 @@
 //!    the final sketch with race-candidate seeding and rank-ordered
 //!    watchpoints on vs off.
 
+use gist_analysis::{Mhp, PointsTo};
 use gist_bugbase::{all_bugs, BugSpec};
 use gist_coop::{diagnose_bug, EvalConfig};
 use gist_core::ast::Growth;
@@ -417,6 +418,115 @@ pub fn svfg_text() -> String {
     out
 }
 
+/// One bug's row of the `mhp` ablation: happens-before/MHP pruning of
+/// interleaving hypotheses and never-parallel watchpoint candidates vs
+/// the unpruned pipeline.
+#[derive(Clone, Debug)]
+pub struct MhpRow {
+    /// Bug name.
+    pub bug: String,
+    /// Watchpoint candidate pool without MHP pruning.
+    pub pool_off: usize,
+    /// Watchpoint candidate pool with never-parallel stores dropped.
+    pub pool_on: usize,
+    /// AsT iterations to convergence with MHP pruning on / off.
+    pub iterations: [usize; 2],
+    /// Overall accuracy with MHP pruning on / off.
+    pub overall: [f64; 2],
+    /// Root cause found with MHP pruning on / off.
+    pub found: [bool; 2],
+}
+
+/// Computes one bug's `mhp` row.
+pub fn mhp_row(bug: &BugSpec) -> Option<MhpRow> {
+    let (_, report) = bug.find_failure(500)?;
+    let slicer = StaticSlicer::new(&bug.program);
+    let sparse = slicer.compute_with_svfg(report.failing_stmt);
+    let distances = slicer.svfg().backward_value_flow(report.failing_stmt);
+    // Mirror the server's watchpoint pool: sparse slice, value-flow
+    // distance ranking, and (on the MHP side) never-parallel stores
+    // dropped — the failing statement always stays watchable.
+    let pool_off = Planner::new(&bug.program, slicer.ticfg())
+        .with_distance_rank(distances.clone())
+        .watch_candidates(&sparse.ordered)
+        .len();
+    let mhp = Mhp::compute(&bug.program, slicer.ticfg());
+    let pts = PointsTo::compute(&bug.program, slicer.ticfg());
+    let mut never_parallel = mhp.never_parallel_stores(&bug.program, &pts);
+    never_parallel.remove(&report.failing_stmt);
+    let pool_on = Planner::new(&bug.program, slicer.ticfg())
+        .with_distance_rank(distances)
+        .with_mhp_filter(never_parallel)
+        .watch_candidates(&sparse.ordered)
+        .len();
+    let run = |on: bool| {
+        diagnose_bug(
+            bug,
+            &EvalConfig {
+                enable_mhp: on,
+                ..EvalConfig::default()
+            },
+        )
+    };
+    let on = run(true);
+    let off = run(false);
+    Some(MhpRow {
+        bug: bug.name.to_owned(),
+        pool_off,
+        pool_on,
+        iterations: [on.iterations, off.iterations],
+        overall: [on.overall, off.overall],
+        found: [on.found_root_cause, off.found_root_cause],
+    })
+}
+
+/// The full `mhp` ablation across the bugbase.
+pub fn mhp_ablation() -> Vec<MhpRow> {
+    all_bugs().iter().filter_map(mhp_row).collect()
+}
+
+/// Renders the `mhp` ablation as text.
+pub fn mhp_text() -> String {
+    let rows = mhp_ablation();
+    let mut out = String::new();
+    out.push_str("MHP ablation — happens-before pruning of hypotheses and watchpoints\n\n");
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>6} {:>7}\n",
+        "bug", "pool", "pool-mhp", "iter", "iter-mhp", "A(on)", "A(off)", "found", "found-"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>8.1} {:>8.1} {:>6} {:>7}\n",
+            r.bug,
+            r.pool_off,
+            r.pool_on,
+            r.iterations[1],
+            r.iterations[0],
+            r.overall[0],
+            r.overall[1],
+            if r.found[0] { "yes" } else { "no" },
+            if r.found[1] { "yes" } else { "no" },
+        ));
+    }
+    let n = rows.len().max(1) as f64;
+    out.push_str(&format!(
+        "\naverage overall: mhp {:.1}%  unpruned {:.1}%\n",
+        rows.iter().map(|r| r.overall[0]).sum::<f64>() / n,
+        rows.iter().map(|r| r.overall[1]).sum::<f64>() / n,
+    ));
+    out.push_str(&format!(
+        "watchpoint pool: {} unpruned -> {} with MHP never-parallel pruning\n",
+        rows.iter().map(|r| r.pool_off).sum::<usize>(),
+        rows.iter().map(|r| r.pool_on).sum::<usize>(),
+    ));
+    out.push_str(&format!(
+        "AsT iterations: {} unpruned -> {} with MHP hypothesis pruning\n",
+        rows.iter().map(|r| r.iterations[1]).sum::<usize>(),
+        rows.iter().map(|r| r.iterations[0]).sum::<usize>(),
+    ));
+    out
+}
+
 /// Renders the `--dataflow` ablation as text.
 pub fn dataflow_text() -> String {
     let rows = dataflow_ablation();
@@ -670,6 +780,41 @@ mod tests {
         assert!(
             sparse < legacy,
             "sparse slicing never freed a watch slot: {sparse} vs {legacy}"
+        );
+    }
+
+    #[test]
+    fn mhp_pruning_shrinks_the_pool_at_unchanged_accuracy() {
+        let rows = mhp_ablation();
+        assert_eq!(rows.len(), 11);
+        for r in &rows {
+            assert!(
+                r.pool_on <= r.pool_off,
+                "{}: MHP pruning grew the pool: {} > {}",
+                r.bug,
+                r.pool_on,
+                r.pool_off
+            );
+            assert_eq!(
+                r.found[0], r.found[1],
+                "{}: MHP pruning changed root-cause discovery",
+                r.bug
+            );
+            assert!(
+                r.overall[0] >= r.overall[1] - 1e-9,
+                "{}: MHP pruning cost accuracy: {:.1} < {:.1}",
+                r.bug,
+                r.overall[0],
+                r.overall[1]
+            );
+        }
+        let off: usize = rows.iter().map(|r| r.pool_off).sum();
+        let on: usize = rows.iter().map(|r| r.pool_on).sum();
+        let iter_on: usize = rows.iter().map(|r| r.iterations[0]).sum();
+        let iter_off: usize = rows.iter().map(|r| r.iterations[1]).sum();
+        assert!(
+            on < off || (on == off && iter_on < iter_off),
+            "MHP pruning never fired: pool {on} vs {off}, iterations {iter_on} vs {iter_off}"
         );
     }
 

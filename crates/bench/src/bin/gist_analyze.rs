@@ -4,14 +4,19 @@
 //! lock-order deadlock detector, dead-store lint) over MiniC programs and
 //! prints rustc-style diagnostics. The `lint` subcommand swaps in the
 //! value-flow detector suite (use-after-free GA020, double-free GA021,
-//! atomicity candidates GA022, null-flow-into-dereference GA023) built on
-//! the sparse value-flow graph with path-feasibility pruning.
+//! atomicity candidates GA022, null-flow-into-dereference GA023,
+//! cross-thread order violations GA024) built on the sparse value-flow
+//! graph with path-feasibility pruning and the happens-before/MHP
+//! relation. The `predict` subcommand emits static predicted failure
+//! sketches: the minimal two-thread orderings behind each cross-thread
+//! finding, derived without running the program.
 //!
 //! ```text
 //! gist-analyze <file.minic> [more.minic ...]   # analyze source files
 //! gist-analyze --bugbase                       # analyze every bugbase program
 //! gist-analyze lint --bugbase                  # value-flow lints, whole bugbase
 //! gist-analyze lint --json prog.minic          # machine-readable findings
+//! gist-analyze predict --bugbase               # static predicted sketches
 //! ```
 //!
 //! `--json` emits one JSON document (an array of per-program objects) on
@@ -19,38 +24,73 @@
 //! pre-sorted by (severity, location, code, message), so output is
 //! byte-identical across runs.
 //!
-//! Exit status: 0 clean (warnings allowed), 1 if any pass reported an
-//! error, 2 on usage or parse failure.
+//! Exit status contract (documented in README):
+//! * **0** — clean, or *candidate/advisory findings only*: atomicity
+//!   candidates (GA022) name a suspicious interleaving window, not a
+//!   confirmed bug, and style advisories (dead blocks GA005, write-only
+//!   globals GA006) never gate a build.
+//! * **1** — at least one confirmed finding: any error-severity
+//!   diagnostic, or a confirmed detector warning (GA020/GA021 lifetime,
+//!   GA023 null flow, GA024 order violation).
+//! * **2** — usage, read, or parse failure.
 
 use gist_analysis::{
-    default_passes, has_errors, lint_passes, render_report, Diagnostic, PassManager, Severity,
+    default_passes, lint_passes, predicted_sketches, render_prediction, render_report, Diagnostic,
+    PassManager, PredictedSketch, Severity,
 };
 use gist_ir::Program;
 use gist_obs::json::Json;
 
 use gist_ir::parser::parse_program;
 
+/// Warning codes that represent confirmed findings rather than
+/// candidates or advisories; they drive exit status 1 alongside errors.
+const CONFIRMED_WARNINGS: &[&str] = &["GA020", "GA021", "GA023", "GA024"];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Default,
+    Lint,
+    Predict,
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let lint = args.first().map(String::as_str) == Some("lint");
-    if lint {
+    let mode = match args.first().map(String::as_str) {
+        Some("lint") => Mode::Lint,
+        Some("predict") => Mode::Predict,
+        _ => Mode::Default,
+    };
+    if mode != Mode::Default {
         args.remove(0);
     }
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if args.is_empty() {
-        eprintln!("usage: gist-analyze [lint] [--json] <file.minic> [more.minic ...] | --bugbase");
+        eprintln!(
+            "usage: gist-analyze [lint|predict] [--json] <file.minic> [more.minic ...] | --bugbase"
+        );
         std::process::exit(2);
     }
-    let passes: fn() -> PassManager = if lint { lint_passes } else { default_passes };
-    let mut any_errors = false;
+    let mut confirmed = false;
     let mut reports: Vec<Json> = Vec::new();
+    let run = |name: &str, program: &Program, reports: &mut Vec<Json>| match mode {
+        Mode::Predict => predict(name, program, json, reports),
+        m => {
+            let passes: fn() -> PassManager = if m == Mode::Lint {
+                lint_passes
+            } else {
+                default_passes
+            };
+            analyze(name, program, passes(), json, reports)
+        }
+    };
     if args.iter().any(|a| a == "--bugbase") {
         for bug in gist_bugbase::all_bugs() {
             if !json {
                 println!("=== {} ({}) ===", bug.name, bug.display);
             }
-            any_errors |= analyze(bug.name, &bug.program, passes(), json, &mut reports);
+            confirmed |= run(bug.name, &bug.program, &mut reports);
         }
     } else {
         for path in &args {
@@ -77,18 +117,24 @@ fn main() {
             if !json {
                 println!("=== {path} ===");
             }
-            any_errors |= analyze(path, &program, passes(), json, &mut reports);
+            confirmed |= run(path, &program, &mut reports);
         }
     }
     if json {
         println!("{}", Json::Arr(reports).pretty());
     }
-    std::process::exit(if any_errors { 1 } else { 0 });
+    std::process::exit(if confirmed { 1 } else { 0 });
+}
+
+/// True when the diagnostic gates exit status 1: an error, or a
+/// confirmed-detector warning (not a candidate/advisory).
+fn is_confirmed(d: &Diagnostic) -> bool {
+    d.severity == Severity::Error || CONFIRMED_WARNINGS.contains(&d.code)
 }
 
 /// Runs the pass pipeline over one program. In text mode, prints the
 /// rustc-style report; in JSON mode, appends a per-program object to
-/// `reports`. Returns true if any diagnostic is an error.
+/// `reports`. Returns true if any diagnostic is confirmed.
 fn analyze(
     name: &str,
     program: &Program,
@@ -104,7 +150,58 @@ fn analyze(
     } else {
         println!("{}", render_report(Some(program), &diags));
     }
-    has_errors(&diags)
+    diags.iter().any(is_confirmed)
+}
+
+/// Emits the static predicted sketches for one program. Predictions
+/// never gate the exit status — they are forecasts, not findings.
+fn predict(name: &str, program: &Program, json: bool, reports: &mut Vec<Json>) -> bool {
+    let sketches = predicted_sketches(program);
+    if json {
+        reports.push(Json::Obj(vec![
+            ("program".into(), Json::Str(name.to_owned())),
+            (
+                "predictions".into(),
+                Json::Arr(sketches.iter().map(prediction_json).collect()),
+            ),
+        ]));
+    } else if sketches.is_empty() {
+        println!("no predicted sketches (sequential or fully ordered)");
+    } else {
+        for s in &sketches {
+            print!("{}", render_prediction(s));
+        }
+    }
+    false
+}
+
+/// Encodes one predicted sketch as a JSON object.
+fn prediction_json(s: &PredictedSketch) -> Json {
+    Json::Obj(vec![
+        ("code".into(), Json::Str(s.code.to_owned())),
+        ("title".into(), Json::Str(s.title.clone())),
+        (
+            "threads".into(),
+            Json::Arr(s.threads.iter().map(|t| Json::Str(t.clone())).collect()),
+        ),
+        (
+            "steps".into(),
+            Json::Arr(
+                s.steps
+                    .iter()
+                    .map(|st| {
+                        Json::Obj(vec![
+                            ("thread".into(), Json::U64(st.thread as u64)),
+                            ("kind".into(), Json::Str(st.kind.to_owned())),
+                            ("loc".into(), Json::Str(st.loc.clone())),
+                            ("note".into(), Json::Str(st.note.to_owned())),
+                            ("failing".into(), Json::Bool(st.stmt == s.failing)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Encodes one program's findings as a JSON object. Diagnostics arrive

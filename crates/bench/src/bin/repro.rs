@@ -13,6 +13,7 @@
 //! repro ablations           # design-decision ablations (DESIGN.md)
 //! repro dataflow            # alias-aware slicing x dead-store pruning
 //! repro svfg                # sparse value-flow slicing + feasibility pruning
+//! repro mhp                 # happens-before/MHP pruning on vs off
 //! repro races               # static race candidates + ranking ablation
 //! repro sketch <bug-name>   # render a failure sketch (e.g. pbzip2-1)
 //!   ... sketch <bug> --explain   # + provenance chains from the journal
@@ -49,6 +50,9 @@ fn main() {
         }
         "svfg" | "--svfg" => {
             println!("{}", gist_bench::ablations::svfg_text());
+        }
+        "mhp" | "--mhp" => {
+            println!("{}", gist_bench::ablations::mhp_text());
         }
         "races" => races(),
         "swtrace" => swtrace(),
@@ -89,7 +93,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow svfg races sketch bugs bench");
+            eprintln!("commands: all table1 fig9 fig10 fig11 fig12 fig13 overhead swtrace ablations dataflow svfg mhp races sketch bugs bench");
             std::process::exit(2);
         }
     }

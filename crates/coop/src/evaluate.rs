@@ -36,6 +36,9 @@ pub struct EvalConfig {
     /// the `svfg` ablation toggles this off to quantify the slice and
     /// watchpoint-pool shrinkage.
     pub enable_svfg_slicing: bool,
+    /// Happens-before/MHP pruning of interleaving hypotheses and the
+    /// watchpoint pool — the `repro mhp` ablation toggles this off.
+    pub enable_mhp: bool,
     /// Dead-store pruning of watchpoint plans — the `--dataflow` ablation
     /// toggles this off.
     pub enable_dead_store_pruning: bool,
@@ -60,6 +63,7 @@ impl Default for EvalConfig {
             enable_race_ranking: true,
             enable_alias_slicing: true,
             enable_svfg_slicing: true,
+            enable_mhp: true,
             enable_dead_store_pruning: true,
             fleet: FleetConfig::default(),
             stop_at_root_cause: true,
@@ -126,6 +130,7 @@ pub fn diagnose_bug(bug: &BugSpec, cfg: &EvalConfig) -> BugEvaluation {
             enable_race_ranking: cfg.enable_race_ranking,
             enable_alias_slicing: cfg.enable_alias_slicing,
             enable_svfg_slicing: cfg.enable_svfg_slicing,
+            enable_mhp: cfg.enable_mhp,
             enable_dead_store_pruning: cfg.enable_dead_store_pruning,
             title: format!("Failure Sketch for {}", bug.display),
             bug_class: bug.class.label().to_owned(),

@@ -56,6 +56,11 @@ pub struct GistConfig {
     /// (`repro svfg` quantifies the shrinkage). Requires
     /// `enable_alias_slicing`; ignored when that is off.
     pub enable_svfg_slicing: bool,
+    /// Happens-before/MHP pruning: drop race-candidate interleaving
+    /// hypotheses the thread structure proves never-parallel before they
+    /// seed the AsT loop, and keep never-parallel writes out of the
+    /// watchpoint pool — the `repro mhp` ablation toggles this off.
+    pub enable_mhp: bool,
     /// Dead-store pruning: exclude stores the memory-liveness dataflow
     /// proves are never read/freed/synchronized on from watchpoint plans,
     /// so the four debug registers go to observable accesses.
@@ -80,6 +85,7 @@ impl Default for GistConfig {
             enable_race_ranking: true,
             enable_alias_slicing: true,
             enable_svfg_slicing: true,
+            enable_mhp: true,
             enable_dead_store_pruning: true,
             title: "Failure Sketch".to_owned(),
             bug_class: "Bug".to_owned(),
@@ -221,8 +227,23 @@ impl<'p> GistServer<'p> {
         let mut watch_priority: Vec<InstrId> = Vec::new();
         let mut dead = BTreeSet::new();
         let _span_analyze = gist_obs::span("server.analyze");
+        // The happens-before/MHP relation, when enabled: race-candidate
+        // pairs the thread structure orders (a free after the join, two
+        // phases separated by a join barrier) are statically-impossible
+        // interleavings — they neither seed tracking nor rank watchpoints,
+        // so the AsT loop never spends runs testing them.
+        let mhp = self
+            .config
+            .enable_mhp
+            .then(|| gist_analysis::Mhp::compute(self.program, self.slicer.ticfg()));
         if self.config.enable_race_ranking {
-            let analysis = gist_analysis::analyze(self.program);
+            let mut analysis = gist_analysis::analyze(self.program);
+            if let Some(m) = &mhp {
+                analysis.candidates.retain(|c| {
+                    let [a, b] = c.stmts();
+                    m.may_happen_in_parallel(a, b)
+                });
+            }
             watch_priority = analysis.ranked_stmts();
             // Only high-confidence candidates seed: anything scoring more
             // than 2 below the best is a long-shot pair whose extra endpoint
@@ -245,10 +266,24 @@ impl<'p> GistServer<'p> {
         // Dead-store pruning: stores the memory-liveness dataflow proves
         // unobservable never occupy a debug register. The failing statement
         // is always kept watchable, whatever the analysis says.
+        let pts = (self.config.enable_dead_store_pruning || mhp.is_some())
+            .then(|| gist_analysis::PointsTo::compute(self.program, self.slicer.ticfg()));
         if self.config.enable_dead_store_pruning {
-            let pts = gist_analysis::PointsTo::compute(self.program, self.slicer.ticfg());
-            dead = gist_analysis::dead_stores(self.program, self.slicer.ticfg(), &pts);
+            let pts = pts.as_ref().expect("computed above");
+            dead = gist_analysis::dead_stores(self.program, self.slicer.ticfg(), pts);
             dead.remove(&report.failing_stmt);
+        }
+        // Never-parallel writes: their interleavings cannot matter, so
+        // they never occupy a debug register. The failing statement and
+        // race-ranked statements always stay watchable.
+        let mut never_parallel = BTreeSet::new();
+        if let Some(m) = &mhp {
+            let pts = pts.as_ref().expect("computed above");
+            never_parallel = m.never_parallel_stores(self.program, pts);
+            never_parallel.remove(&report.failing_stmt);
+            for s in &watch_priority {
+                never_parallel.remove(s);
+            }
         }
         drop(_span_analyze);
         // Value-flow distances (SVFG hops to the failing value) break
@@ -262,7 +297,8 @@ impl<'p> GistServer<'p> {
         let planner = Planner::new(self.program, self.slicer.ticfg())
             .with_watch_priority(watch_priority)
             .with_distance_rank(flow_distances)
-            .with_dead_store_filter(dead);
+            .with_dead_store_filter(dead)
+            .with_mhp_filter(never_parallel);
         let builder = SketchBuilder::new(self.program)
             .with_title(&self.config.title)
             .with_class(&self.config.bug_class);

@@ -16,6 +16,7 @@ pub struct Planner<'p> {
     ticfg: &'p Icfg,
     watch_priority: Vec<InstrId>,
     dead_stores: BTreeSet<InstrId>,
+    never_parallel: BTreeSet<InstrId>,
     value_flow_distance: HashMap<InstrId, u64>,
 }
 
@@ -27,6 +28,7 @@ impl<'p> Planner<'p> {
             ticfg,
             watch_priority: Vec::new(),
             dead_stores: BTreeSet::new(),
+            never_parallel: BTreeSet::new(),
             value_flow_distance: HashMap::new(),
         }
     }
@@ -61,6 +63,18 @@ impl<'p> Planner<'p> {
         self
     }
 
+    /// Excludes never-parallel writes from watchpoint planning: a store
+    /// or free that the static happens-before/MHP analysis proves has no
+    /// may-parallel access to the same cell on another thread cannot be
+    /// one side of the racing pair the watchpoints hunt for, so arming it
+    /// only lengthens the cooperative schedule. The set is computed by
+    /// the caller (`gist_analysis::Mhp::never_parallel_stores`) so
+    /// tracking stays free of an analysis dependency.
+    pub fn with_mhp_filter(mut self, never_parallel: BTreeSet<InstrId>) -> Planner<'p> {
+        self.never_parallel = never_parallel;
+        self
+    }
+
     /// Orders watchpoint insertion by an external ranking (e.g. the static
     /// race detector's candidate order): statements earlier in `priority`
     /// land in earlier cooperative watch groups, so the likeliest racing
@@ -81,6 +95,7 @@ impl<'p> Planner<'p> {
             .copied()
             .filter(|&s| {
                 !self.dead_stores.contains(&s)
+                    && !self.never_parallel.contains(&s)
                     && self.is_watch_candidate(s)
                     && self.flows_to_failure(s)
             })
@@ -123,6 +138,7 @@ impl<'p> Planner<'p> {
             };
             if einstr.op.access_addr() != Some(addr)
                 || self.dead_stores.contains(earlier)
+                || self.never_parallel.contains(earlier)
                 || !self.is_watch_candidate(*earlier)
                 || !self.flows_to_failure(*earlier)
             {

@@ -99,7 +99,7 @@ fn lint_reports_match_golden_snapshots() {
 /// sequential single-thread programs with a concurrency lint.
 #[test]
 fn lint_suite_flags_known_bugs_without_false_positives() {
-    let concurrency_codes = ["GA020", "GA021", "GA022"];
+    let concurrency_codes = ["GA020", "GA021", "GA022", "GA024"];
     for bug in gist_bugbase::all_bugs() {
         let diags = lint_passes().run(&bug.program);
         for d in &diags {

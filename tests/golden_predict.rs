@@ -1,0 +1,167 @@
+//! Golden snapshot tests for *predicted* failure sketches — the static
+//! forecasts `gist-analyze predict` derives from the happens-before/MHP
+//! relation without ever running the program.
+//!
+//! Three contracts, one per test:
+//!
+//! 1. Every bug's rendered predictions are pinned byte-for-byte under
+//!    `tests/golden/<bug>.predict` (`UPDATE_GOLDEN=1` to accept).
+//! 2. Sequential bugs predict *nothing*: a program with no threads has
+//!    no interleavings to forecast.
+//! 3. The dynamic-core match gate: for each concurrency bug, at least
+//!    one predicted sketch's cross-thread core — some step on one
+//!    predicted thread paired with a step on the other — reappears in
+//!    the bug's *dynamic* sketch (the root-cause diagnosis built from
+//!    real failing runs) on distinct threads. Detector predictions
+//!    (GA020–GA024) claim a causal direction — free before use, store
+//!    before load — so their pairs must replay in the predicted order.
+//!    A race prediction (GA010) is *unordered* by construction: the pair
+//!    has no happens-before edge, both interleavings are statically
+//!    feasible, and the dynamic sketch fixes the direction at runtime —
+//!    so its pair may match in either order.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gist_analysis::{predicted_sketches, render_prediction, PredictedSketch};
+use gist_bugbase::{all_bugs, BugClass};
+use gist_coop::{diagnose_bug, EvalConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// A readable line diff: every differing line as `-expected` / `+actual`.
+fn line_diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                let _ = writeln!(out, "  line {:>3} - {e}", i + 1);
+            }
+            if let Some(a) = a {
+                let _ = writeln!(out, "  line {:>3} + {a}", i + 1);
+            }
+        }
+    }
+    out
+}
+
+/// Renders one program's predictions the way `gist-analyze predict`
+/// prints them (the golden file is the CLI's text output).
+fn render_all(sketches: &[PredictedSketch]) -> String {
+    if sketches.is_empty() {
+        return "no predicted sketches (sequential or fully ordered)\n".to_owned();
+    }
+    sketches.iter().map(render_prediction).collect()
+}
+
+#[test]
+fn predictions_match_golden_snapshots() {
+    let mut failures = Vec::new();
+    for bug in all_bugs() {
+        let rendered = render_all(&predicted_sketches(&bug.program));
+        let path = golden_dir().join(format!("{}.predict", bug.name));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, &rendered).expect("write golden file");
+            continue;
+        }
+        let golden = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!(
+                    "{}: no golden snapshot at {} ({e}); run with UPDATE_GOLDEN=1",
+                    bug.name,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        if golden != rendered {
+            failures.push(format!(
+                "{}: predictions differ from {} (UPDATE_GOLDEN=1 to accept):\n{}",
+                bug.name,
+                path.display(),
+                line_diff(&golden, &rendered)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} prediction report(s) changed:\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn sequential_bugs_predict_nothing() {
+    for bug in all_bugs() {
+        if bug.class != BugClass::Sequential {
+            continue;
+        }
+        let sketches = predicted_sketches(&bug.program);
+        assert!(
+            sketches.is_empty(),
+            "{}: a sequential program predicted {} sketch(es) — there \
+             are no interleavings to forecast",
+            bug.name,
+            sketches.len()
+        );
+    }
+}
+
+#[test]
+fn concurrency_predictions_match_the_dynamic_sketch_core() {
+    let mut failures = Vec::new();
+    for bug in all_bugs() {
+        if bug.class != BugClass::Concurrency {
+            continue;
+        }
+        let sketches = predicted_sketches(&bug.program);
+        assert!(
+            !sketches.is_empty(),
+            "{}: concurrency bug with no predicted sketch",
+            bug.name
+        );
+        let dynamic = diagnose_bug(&bug, &EvalConfig::default()).sketch;
+        // Does the dynamic sketch replay `a` and then `b` on distinct
+        // threads, in that order?
+        let replays = |a: &gist_analysis::PredictedStep, b: &gist_analysis::PredictedStep| {
+            dynamic.steps.iter().enumerate().any(|(x, da)| {
+                da.stmt == a.stmt
+                    && dynamic.steps[x + 1..]
+                        .iter()
+                        .any(|db| db.stmt == b.stmt && db.tid != da.tid)
+            })
+        };
+        let matches = sketches.iter().any(|p| {
+            let unordered = p.code == "GA010";
+            p.steps.iter().enumerate().any(|(i, a)| {
+                p.steps[i + 1..].iter().any(|b| {
+                    a.thread != b.thread && (replays(a, b) || (unordered && replays(b, a)))
+                })
+            })
+        });
+        if !matches {
+            failures.push(format!(
+                "{}: no predicted cross-thread ordering reappears in the \
+                 dynamic sketch ({} prediction(s), {} dynamic steps)",
+                bug.name,
+                sketches.len(),
+                dynamic.steps.len()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} bug(s) failed the dynamic-core match gate:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
