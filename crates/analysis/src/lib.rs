@@ -65,6 +65,7 @@
 pub mod dataflow;
 pub mod deadlock;
 pub mod diag;
+pub mod ground_truth;
 pub mod lint;
 pub mod mhp;
 pub mod pass;
@@ -81,6 +82,10 @@ pub use dataflow::{
 };
 pub use deadlock::{DeadlockAnalysis, DeadlockCycle, DeadlockLintPass, LockOrderEdge};
 pub use diag::{has_errors, render_report, sort_diagnostics, Diagnostic, Severity};
+pub use ground_truth::{
+    code_histogram, diag_references_line, findings_on_lines, lint_all, prediction_covers,
+    predictions,
+};
 pub use lint::{
     lint_passes, AtomicityLintPass, AvPattern, NullFlowLintPass, OrderLintPass, UafLintPass,
 };

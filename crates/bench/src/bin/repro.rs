@@ -20,6 +20,11 @@
 //! repro bugs                # list bug names
 //! repro bench               # full-bugbase perf run -> BENCH_gist.json
 //!                           #   + flight recorder -> JOURNAL_gist.jsonl
+//! repro bench --synthetic N --seed S
+//!                           # N seeded synthetic bugs through the full
+//!                           # AsT loop -> BENCH_gist.json + accuracy
+//!                           # table on stdout; exits 1 below the
+//!                           # recorded recovery floor
 //! ```
 //!
 //! `table1`, `fig9`, `all`, and `bench` exit non-zero when any bug's sketch
@@ -38,6 +43,7 @@ fn main() {
     match cmd {
         "table1" => table1(),
         "fig9" => fig9(),
+        "bench" if args.iter().any(|a| a == "--synthetic") => synth_bench(&args[1..]),
         "bench" => bench(args.get(1).map(String::as_str)),
         "fig10" => fig10(),
         "fig11" => fig11(),
@@ -150,6 +156,46 @@ fn bench(out: Option<&str>) {
         report.journal.len()
     );
     gate_accuracy(&evals);
+}
+
+/// `bench --synthetic N [--seed S] [--out PATH]`: the synthetic-bugbase
+/// accuracy run. Deterministic for fixed `(N, S)`; exits 1 when recovery
+/// falls below the recorded floor.
+fn synth_bench(args: &[String]) {
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse_u64 = |flag: &str, default: u64| -> u64 {
+        match flag_value(flag) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} wants an unsigned integer, got '{v}'");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let n = parse_u64("--synthetic", 200);
+    let seed = parse_u64("--seed", 1);
+    let path = flag_value("--out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_gist.json");
+    let report = gist_bench::synth_report::run_synth(n, seed);
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{}", report.table_text());
+    println!("wrote {path} ({n} synthetic bugs)");
+    let violations = expectations::check_synth(&report);
+    if !violations.is_empty() {
+        eprintln!("synthetic bugbase regression against recorded expectations:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn fig10() {

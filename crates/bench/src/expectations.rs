@@ -8,6 +8,8 @@
 
 use gist_coop::BugEvaluation;
 
+use crate::synth_report::SynthReport;
+
 /// The recorded floor for one bug.
 #[derive(Clone, Copy, Debug)]
 pub struct BugExpectation {
@@ -77,6 +79,40 @@ pub const EXPECTATIONS: &[BugExpectation] = &[
         require_root_cause: true,
     },
 ];
+
+/// Recovery floor (percent) for the synthetic bugbase, recorded 2026-08
+/// from `repro bench --synthetic 200 --seed 1` on the seed pipeline
+/// (which recovers well above this; the floor trips on real regressions,
+/// not sampling noise).
+pub const SYNTH_RECOVERY_FLOOR: f64 = 90.0;
+
+/// Static-lint conformance floor (percent) for the synthetic bugbase.
+pub const SYNTH_LINT_FLOOR: f64 = 90.0;
+
+/// Checks a synthetic-bugbase report against the recorded floors.
+/// Returns one human-readable violation per failing criterion.
+pub fn check_synth(report: &SynthReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let recovery = report.recovery_rate();
+    if recovery < SYNTH_RECOVERY_FLOOR {
+        violations.push(format!(
+            "synthetic recovery {recovery:.1}% below recorded floor {SYNTH_RECOVERY_FLOOR:.1}%"
+        ));
+    }
+    let lint = report.lint_rate();
+    if lint < SYNTH_LINT_FLOOR {
+        violations.push(format!(
+            "synthetic lint conformance {lint:.1}% below recorded floor {SYNTH_LINT_FLOOR:.1}%"
+        ));
+    }
+    if report.dirty_controls > 0 {
+        violations.push(format!(
+            "{} of {} negative controls were not clean",
+            report.dirty_controls, report.controls
+        ));
+    }
+    violations
+}
 
 /// Checks evaluations against the recorded floors. Returns one human-readable
 /// violation per failing bug; empty means accuracy is no worse than recorded.

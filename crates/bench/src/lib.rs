@@ -19,6 +19,7 @@ pub mod expectations;
 pub mod experiments;
 pub mod format;
 pub mod races;
+pub mod synth_report;
 pub mod trace_tool;
 
 pub use experiments::{

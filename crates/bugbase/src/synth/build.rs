@@ -1,0 +1,691 @@
+//! Lowers a [`Model`] into an IR program plus its [`GroundTruth`].
+//!
+//! Layout invariants the rest of the pipeline depends on:
+//!
+//! * every emitted statement (terminators included) has its own line in
+//!   [`SYNTH_FILE`], so `(SYNTH_FILE, line)` identifies exactly one
+//!   source-level action and line-granular ground truth is unambiguous;
+//! * scaffolding (helpers, spinner threads, pad) never touches the cells
+//!   the injection races on — each spinner bumps its own private global,
+//!   pad bumps a main-only `noise` global — so the injected pattern is
+//!   the *only* concurrency finding a sound analysis can report;
+//! * `main` is always thread 0 and the injected worker is spawned after
+//!   every spinner, so spinner removal by the shrinker never renumbers
+//!   the lines of the pattern body (lines are assigned in emission
+//!   order: helpers, spinners, workers, then `main`).
+
+use gist_ir::builder::{FunctionBuilder, ProgramBuilder};
+use gist_ir::{Callee, CmpKind, FileId, FuncId, Operand, Program};
+
+use super::model::{ExpectedFailure, GroundTruth, Model, PatternKind, SYNTH_FILE};
+
+/// First line number of the synthetic source file.
+const BASE_LINE: u32 = 100;
+
+/// A monotonically increasing line counter: one line per statement.
+struct Lines {
+    next: u32,
+}
+
+impl Lines {
+    fn new() -> Lines {
+        Lines { next: BASE_LINE }
+    }
+
+    fn next(&mut self) -> u32 {
+        let l = self.next;
+        self.next += 1;
+        l
+    }
+}
+
+/// Emits one statement-producing closure at a fresh line and returns
+/// that line.
+fn at(f: &mut FunctionBuilder<'_>, file: FileId, lines: &mut Lines) -> u32 {
+    let l = lines.next();
+    f.at_line(file, l);
+    l
+}
+
+/// Builds the program and ground truth for `model`.
+///
+/// # Panics
+///
+/// Panics if the generated program fails IR validation — the property
+/// suite asserts this can't happen for any seed, so a validation error
+/// here is a generator bug, not an input error.
+pub fn build(model: &Model) -> (Program, GroundTruth) {
+    let name = format!("synth-{:08x}-{}", model.seed, model.pattern.slug());
+    let mut pb = ProgramBuilder::new(&name);
+    let file = pb.file(SYNTH_FILE);
+    let mut lines = Lines::new();
+
+    // Scaffold helpers: pure arithmetic, called from main.
+    let mut helper_ids: Vec<FuncId> = Vec::new();
+    for (i, h) in model.helpers.iter().enumerate() {
+        let mut f = pb.function(&format!("helper{i}"), &["x"]);
+        let x = f.var("x");
+        at(&mut f, file, &mut lines);
+        let a = f.add("a", x.into(), h.bias.into());
+        at(&mut f, file, &mut lines);
+        let b = f.add("b", a.into(), (i as i64).into());
+        at(&mut f, file, &mut lines);
+        f.ret(Some(b.into()));
+        helper_ids.push(f.id());
+        f.finish();
+    }
+
+    // Scaffold spinner threads: each runs a bounded countdown loop over
+    // its own private global, then returns (they must terminate so a
+    // deadlock of the pattern threads is still detected).
+    let mut spinner_ids: Vec<FuncId> = Vec::new();
+    for (i, s) in model.spinners.iter().enumerate() {
+        let tick = pb.global(&format!("tick{i}"), 0);
+        let mut f = pb.function(&format!("spin{i}"), &["arg"]);
+        let head = f.new_block("head");
+        let body = f.new_block("body");
+        let exit = f.new_block("exit");
+        at(&mut f, file, &mut lines);
+        let k = f.const_i64("k", s.iters as i64);
+        at(&mut f, file, &mut lines);
+        f.br(head);
+        f.switch_to(head);
+        at(&mut f, file, &mut lines);
+        let c = f.cmp("c", CmpKind::Gt, k.into(), 0.into());
+        at(&mut f, file, &mut lines);
+        f.condbr(c.into(), body, exit);
+        f.switch_to(body);
+        at(&mut f, file, &mut lines);
+        let tv = f.load("tv", tick.into());
+        at(&mut f, file, &mut lines);
+        let tv2 = f.add("tv2", tv.into(), 1.into());
+        at(&mut f, file, &mut lines);
+        f.store(tick.into(), tv2.into());
+        at(&mut f, file, &mut lines);
+        f.sub("k", k.into(), 1.into());
+        at(&mut f, file, &mut lines);
+        f.br(head);
+        f.switch_to(exit);
+        at(&mut f, file, &mut lines);
+        f.ret(None);
+        spinner_ids.push(f.id());
+        f.finish();
+    }
+
+    let mut truth = GroundTruth::new(model.pattern);
+    emit_pattern(
+        &mut pb,
+        file,
+        &mut lines,
+        model,
+        &helper_ids,
+        &spinner_ids,
+        &mut truth,
+    );
+
+    let program = match pb.finish() {
+        Ok(p) => p,
+        Err(errors) => panic!(
+            "generated program for seed {:#x} is invalid: {errors:?}",
+            model.seed
+        ),
+    };
+    (program, truth)
+}
+
+/// Emits pad statements (main-only `noise` bumps) inside a racy window.
+fn pad(f: &mut FunctionBuilder<'_>, file: FileId, lines: &mut Lines, noise: Operand, n: u32) {
+    for j in 0..n {
+        at(f, file, lines);
+        let nv = f.load(&format!("nv{j}"), noise);
+        at(f, file, lines);
+        let nv2 = f.add(&format!("nw{j}"), nv.into(), 1.into());
+        at(f, file, lines);
+        f.store(noise, nv2.into());
+    }
+}
+
+/// Spawns every spinner and returns the tid registers (by name).
+fn spawn_spinners(
+    f: &mut FunctionBuilder<'_>,
+    file: FileId,
+    lines: &mut Lines,
+    spinner_ids: &[FuncId],
+) -> Vec<String> {
+    let mut tids = Vec::new();
+    for (i, &s) in spinner_ids.iter().enumerate() {
+        let name = format!("sp{i}");
+        at(f, file, lines);
+        f.spawn(Some(&name), Callee::Direct(s), 0.into());
+        tids.push(name);
+    }
+    tids
+}
+
+/// Calls every helper from main (results feed nothing racy).
+fn call_helpers(
+    f: &mut FunctionBuilder<'_>,
+    file: FileId,
+    lines: &mut Lines,
+    helper_ids: &[FuncId],
+) {
+    for (i, &h) in helper_ids.iter().enumerate() {
+        at(f, file, lines);
+        f.call_direct(&format!("h{i}"), h, &[(i as i64).into()]);
+    }
+}
+
+/// Joins the spinner tids spawned by [`spawn_spinners`].
+fn join_spinners(f: &mut FunctionBuilder<'_>, file: FileId, lines: &mut Lines, tids: &[String]) {
+    for name in tids {
+        let tid = f.var(name);
+        at(f, file, lines);
+        f.join(tid.into());
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_pattern(
+    pb: &mut ProgramBuilder,
+    file: FileId,
+    lines: &mut Lines,
+    model: &Model,
+    helper_ids: &[FuncId],
+    spinner_ids: &[FuncId],
+    truth: &mut GroundTruth,
+) {
+    let noise = pb.global("noise", 0);
+    match model.pattern {
+        PatternKind::AtomicityRwr => {
+            let shared = pb.global("shared", model.init);
+            let lk = pb.global("lk", 0);
+            // Worker: one locked update of the shared cell.
+            let mut w = pb.function("updater", &["arg"]);
+            at(&mut w, file, lines);
+            w.lock(lk.into());
+            at(&mut w, file, lines);
+            let v = w.load("v", shared.into());
+            at(&mut w, file, lines);
+            let v2 = w.add("v2", v.into(), model.delta.into());
+            let l_rem = at(&mut w, file, lines);
+            w.store(shared.into(), v2.into());
+            at(&mut w, file, lines);
+            w.unlock(lk.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let updater = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(updater), 0.into());
+            // Unlocked double read of the shared cell: the local pair the
+            // remote store can tear.
+            let l_a = at(&mut m, file, lines);
+            let a = m.load("a", shared.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_b = at(&mut m, file, lines);
+            let b = m.load("b", shared.into());
+            at(&mut m, file, lines);
+            let eq = m.cmp("eq", CmpKind::Eq, a.into(), b.into());
+            let l_f = at(&mut m, file, lines);
+            m.assert(eq.into(), "snapshot torn");
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::Assert);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "updater".into()];
+            truth.root_cause_lines = vec![l_a, l_rem, l_b];
+            truth.static_lines = vec![l_a, l_rem, l_b];
+            truth.order_lines = vec![l_a, l_rem, l_b];
+            truth.ideal_lines = vec![l_spawn, l_a, l_rem, l_b, l_f];
+        }
+        PatternKind::AtomicityWwr => {
+            let shared = pb.global("shared", model.init);
+            let lk = pb.global("lk", 0);
+            let clobber = model.init + model.delta + 1;
+            let mut w = pb.function("clobberer", &["arg"]);
+            at(&mut w, file, lines);
+            w.lock(lk.into());
+            let l_rem = at(&mut w, file, lines);
+            w.store(shared.into(), clobber.into());
+            at(&mut w, file, lines);
+            w.unlock(lk.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let clobberer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(clobberer), 0.into());
+            // Unlocked write-then-read: the remote store can clobber the
+            // written value before main reads it back.
+            let written = model.init + model.delta;
+            let l_a = at(&mut m, file, lines);
+            m.store(shared.into(), written.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_b = at(&mut m, file, lines);
+            let r = m.load("r", shared.into());
+            at(&mut m, file, lines);
+            let ok = m.cmp("ok", CmpKind::Eq, r.into(), written.into());
+            let l_f = at(&mut m, file, lines);
+            m.assert(ok.into(), "write clobbered");
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::Assert);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "clobberer".into()];
+            truth.root_cause_lines = vec![l_a, l_rem, l_b];
+            truth.static_lines = vec![l_a, l_rem, l_b];
+            truth.order_lines = vec![l_a, l_rem, l_b];
+            truth.ideal_lines = vec![l_spawn, l_a, l_rem, l_b, l_f];
+        }
+        PatternKind::AtomicityRww => {
+            let shared = pb.global("shared", model.init);
+            let lk = pb.global("lk", 0);
+            // The post-join verification lives in its own function so the
+            // only same-thread access pair in `main` is the injected
+            // unlocked RMW — otherwise the (load, verify-load) pair wins
+            // the candidate ranking and the finding classifies as RWR.
+            let mut v = pb.function("check_total", &[]);
+            at(&mut v, file, lines);
+            let fin = v.load("fin", shared.into());
+            at(&mut v, file, lines);
+            let ok = v.cmp("ok", CmpKind::Eq, fin.into(), (model.init + 2).into());
+            let l_f = at(&mut v, file, lines);
+            v.assert(ok.into(), "update lost");
+            at(&mut v, file, lines);
+            v.ret(None);
+            let check_total = v.finish();
+
+            let mut w = pb.function("incrementer", &["arg"]);
+            at(&mut w, file, lines);
+            w.lock(lk.into());
+            at(&mut w, file, lines);
+            let v = w.load("v", shared.into());
+            at(&mut w, file, lines);
+            let v2 = w.add("v2", v.into(), 1.into());
+            let l_rem = at(&mut w, file, lines);
+            w.store(shared.into(), v2.into());
+            at(&mut w, file, lines);
+            w.unlock(lk.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let incrementer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(incrementer), 0.into());
+            // Unlocked read-modify-write racing the locked one: when the
+            // two RMWs interleave, one increment is lost.
+            let l_a = at(&mut m, file, lines);
+            let a = m.load("a", shared.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            at(&mut m, file, lines);
+            let a2 = m.add("a2", a.into(), 1.into());
+            let l_b = at(&mut m, file, lines);
+            m.store(shared.into(), a2.into());
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            at(&mut m, file, lines);
+            m.call_void(check_total, &[]);
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::Assert);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "incrementer".into()];
+            truth.root_cause_lines = vec![l_a, l_b, l_rem];
+            truth.static_lines = vec![l_a, l_b, l_rem];
+            // The only cross-run-invariant arrow of a lost update: main's
+            // stale read happens before the remote store it ignores.
+            truth.order_lines = vec![l_a, l_rem];
+            truth.ideal_lines = vec![l_spawn, l_a, l_rem, l_b, l_f];
+        }
+        PatternKind::AtomicityWrw => {
+            let shared = pb.global("shared", model.init);
+            let lk = pb.global("lk", 0);
+            let mid = model.init + model.delta;
+            let fin = model.init + 2 * model.delta;
+            let mut w = pb.function("observer", &["arg"]);
+            at(&mut w, file, lines);
+            w.lock(lk.into());
+            let l_rem = at(&mut w, file, lines);
+            let v = w.load("v", shared.into());
+            at(&mut w, file, lines);
+            w.unlock(lk.into());
+            at(&mut w, file, lines);
+            let ok = w.cmp("ok", CmpKind::Ne, v.into(), mid.into());
+            let l_f = at(&mut w, file, lines);
+            w.assert(ok.into(), "intermediate state observed");
+            at(&mut w, file, lines);
+            w.ret(None);
+            let observer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(observer), 0.into());
+            // Unlocked two-step update: the intermediate value `mid` is
+            // only visible between the two stores.
+            let l_a = at(&mut m, file, lines);
+            m.store(shared.into(), mid.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_b = at(&mut m, file, lines);
+            m.store(shared.into(), fin.into());
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::Assert);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "observer".into()];
+            // The failure fires in the observer, possibly before main's
+            // second store even executes — only the first store and the
+            // remote read are guaranteed to be in the failing trace.
+            truth.root_cause_lines = vec![l_a, l_rem];
+            truth.static_lines = vec![l_a, l_rem, l_b];
+            truth.order_lines = vec![l_a, l_rem];
+            truth.ideal_lines = vec![l_spawn, l_a, l_rem, l_f];
+        }
+        PatternKind::OrderViolation => {
+            // A heap cell published to the consumer at spawn but
+            // initialized only afterwards: the consumer can read the
+            // still-zero cell and dereference null.
+            let mut w = pb.function("consumer", &["c"]);
+            let c = w.var("c");
+            let l_use = at(&mut w, file, lines);
+            let p = w.load("p", c.into());
+            let l_f = at(&mut w, file, lines);
+            w.load("v", p.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let consumer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_alloc = at(&mut m, file, lines);
+            let cell = m.alloc("cell", 1.into());
+            at(&mut m, file, lines);
+            let data = m.alloc("data", 1.into());
+            at(&mut m, file, lines);
+            m.store(data.into(), model.init.into());
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(consumer), cell.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_init = at(&mut m, file, lines);
+            m.store(cell.into(), data.into());
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::SegFault);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "consumer".into()];
+            // In a failing run the late init never executes before the
+            // crash, so the dynamic root cause is what *is* observable:
+            // the unpublished cell and the premature read. The static
+            // GA024 finding is the one that names the late init. The
+            // failure-inducing order is use-before-init (the defining
+            // interleaving of an order violation); the alloc is mere
+            // program order, which the sketch timeline need not honor.
+            truth.root_cause_lines = vec![l_alloc, l_use];
+            truth.static_lines = vec![l_init, l_use];
+            truth.order_lines = vec![l_use, l_init];
+            truth.ideal_lines = vec![l_alloc, l_spawn, l_use, l_f];
+        }
+        PatternKind::NullFlow => {
+            // The cell is initialized *before* spawn (ordered, so no
+            // GA024) — the bug is the racing null store afterwards.
+            let mut w = pb.function("consumer", &["c"]);
+            let c = w.var("c");
+            let l_use = at(&mut w, file, lines);
+            let p = w.load("p", c.into());
+            let l_f = at(&mut w, file, lines);
+            w.load("v", p.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let consumer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_alloc = at(&mut m, file, lines);
+            let cell = m.alloc("cell", 1.into());
+            at(&mut m, file, lines);
+            let data = m.alloc("data", 1.into());
+            at(&mut m, file, lines);
+            m.store(data.into(), model.init.into());
+            let l_init = at(&mut m, file, lines);
+            m.store(cell.into(), data.into());
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(consumer), cell.into());
+            let l_null = at(&mut m, file, lines);
+            m.store(cell.into(), 0.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::SegFault);
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "consumer".into()];
+            truth.root_cause_lines = vec![l_null, l_use];
+            truth.static_lines = vec![l_null, l_f];
+            truth.order_lines = vec![l_null, l_use];
+            truth.ideal_lines = vec![l_alloc, l_init, l_spawn, l_null, l_use, l_f];
+        }
+        PatternKind::UseAfterFree => {
+            let mut w = pb.function("consumer", &["b"]);
+            let b = w.var("b");
+            let l_use = at(&mut w, file, lines);
+            w.load("v", b.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let consumer = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_alloc = at(&mut m, file, lines);
+            let buf = m.alloc("buf", 1.into());
+            at(&mut m, file, lines);
+            m.store(buf.into(), model.init.into());
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(consumer), buf.into());
+            let l_free = at(&mut m, file, lines);
+            m.free(buf.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::UseAfterFree);
+            truth.failure_line = Some(l_use);
+            truth.threads = vec!["main".into(), "consumer".into()];
+            truth.root_cause_lines = vec![l_free, l_use];
+            truth.static_lines = vec![l_free, l_use];
+            truth.order_lines = vec![l_free, l_use];
+            truth.ideal_lines = vec![l_alloc, l_spawn, l_free, l_use];
+        }
+        PatternKind::DoubleFree => {
+            // Unsynchronized check-then-free: the reaper frees and then
+            // publishes `done`; main checks `done` without the lock and
+            // can free a second time.
+            let done = pb.global("done", 0);
+            let lk = pb.global("lk", 0);
+            let mut w = pb.function("reaper", &["b"]);
+            let b = w.var("b");
+            at(&mut w, file, lines);
+            w.lock(lk.into());
+            let l_free2 = at(&mut w, file, lines);
+            w.free(b.into());
+            at(&mut w, file, lines);
+            w.store(done.into(), 1.into());
+            at(&mut w, file, lines);
+            w.unlock(lk.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let reaper = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let dofree = m.new_block("dofree");
+            let cont = m.new_block("cont");
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            let l_alloc = at(&mut m, file, lines);
+            let buf = m.alloc("buf", 1.into());
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(reaper), buf.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_chk = at(&mut m, file, lines);
+            let d = m.load("d", done.into());
+            at(&mut m, file, lines);
+            let z = m.cmp("z", CmpKind::Eq, d.into(), 0.into());
+            at(&mut m, file, lines);
+            m.condbr(z.into(), dofree, cont);
+            m.switch_to(dofree);
+            let l_free1 = at(&mut m, file, lines);
+            m.free(buf.into());
+            at(&mut m, file, lines);
+            m.br(cont);
+            m.switch_to(cont);
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::DoubleFree);
+            // Either free can be the second (failing) one.
+            truth.failure_line = None;
+            truth.threads = vec!["main".into(), "reaper".into()];
+            truth.root_cause_lines = vec![l_free1, l_free2];
+            truth.static_lines = vec![l_free1, l_free2];
+            truth.order_lines = Vec::new();
+            truth.ideal_lines = vec![l_alloc, l_spawn, l_chk, l_free1, l_free2];
+        }
+        PatternKind::Deadlock => {
+            // ABBA: main takes A then B, the south thread takes B then A.
+            let pa = pb.global("pa", 0);
+            let pb_ = pb.global("pb", 0);
+            let mut w = pb.function("south", &["arg"]);
+            at(&mut w, file, lines);
+            let w1 = w.load("w1", pb_.into());
+            let l_b1 = at(&mut w, file, lines);
+            w.lock(w1.into());
+            at(&mut w, file, lines);
+            let w2 = w.load("w2", pa.into());
+            let l_b2 = at(&mut w, file, lines);
+            w.lock(w2.into());
+            at(&mut w, file, lines);
+            w.unlock(w2.into());
+            at(&mut w, file, lines);
+            w.unlock(w1.into());
+            at(&mut w, file, lines);
+            w.ret(None);
+            let south = w.finish();
+
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            at(&mut m, file, lines);
+            let la = m.alloc("la", 1.into());
+            at(&mut m, file, lines);
+            let lb = m.alloc("lb", 1.into());
+            at(&mut m, file, lines);
+            m.store(pa.into(), la.into());
+            at(&mut m, file, lines);
+            m.store(pb_.into(), lb.into());
+            let l_spawn = at(&mut m, file, lines);
+            m.spawn(Some("t"), Callee::Direct(south), 0.into());
+            at(&mut m, file, lines);
+            let m1 = m.load("m1", pa.into());
+            let l_a1 = at(&mut m, file, lines);
+            m.lock(m1.into());
+            pad(&mut m, file, lines, noise.into(), model.pad);
+            let l_m2 = at(&mut m, file, lines);
+            let m2 = m.load("m2", pb_.into());
+            let l_f = at(&mut m, file, lines);
+            m.lock(m2.into());
+            at(&mut m, file, lines);
+            m.unlock(m2.into());
+            at(&mut m, file, lines);
+            m.unlock(m1.into());
+            let t = m.var("t");
+            at(&mut m, file, lines);
+            m.join(t.into());
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+
+            truth.expected = Some(ExpectedFailure::Deadlock);
+            // The VM reports a deadlock at the first blocked thread's
+            // current statement; main (tid 0) is always first, blocked
+            // acquiring its second mutex.
+            truth.failure_line = Some(l_f);
+            truth.threads = vec!["main".into(), "south".into()];
+            // Dynamic: the mutex provenance and the blocked acquisition —
+            // the remote side of the cycle is invisible to data tracking.
+            truth.root_cause_lines = vec![l_m2, l_f];
+            // Static: GA011's cycle sites, one acquisition per edge.
+            truth.static_lines = vec![l_f, l_b2];
+            truth.order_lines = Vec::new();
+            truth.ideal_lines = vec![l_spawn, l_a1, l_m2, l_f, l_b1, l_b2];
+        }
+        PatternKind::Control => {
+            // Sequential scaffolding only: must run to completion under
+            // every schedule and produce no concurrency findings.
+            let mut m = pb.function("main", &[]);
+            let sp = spawn_spinners(&mut m, file, lines, spinner_ids);
+            call_helpers(&mut m, file, lines, helper_ids);
+            pad(&mut m, file, lines, noise.into(), model.pad.max(1));
+            join_spinners(&mut m, file, lines, &sp);
+            at(&mut m, file, lines);
+            m.ret(None);
+            m.finish();
+            truth.threads = vec!["main".into()];
+        }
+    }
+}

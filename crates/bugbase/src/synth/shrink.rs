@@ -1,0 +1,81 @@
+//! Model-level shrinking for failing property cases.
+//!
+//! The vendored proptest has no shrinking of its own, so minimization
+//! happens here, on the [`Model`]: greedily delete scaffold elements
+//! (helper functions, spinner threads, pad groups) and keep each
+//! deletion only while the caller's predicate still holds — i.e. while
+//! the shrunk program still reproduces the property failure. The
+//! injected pattern itself is never removed; by construction the result
+//! still contains exactly one root cause.
+
+use super::model::Model;
+use super::SynthBug;
+
+/// Greedily minimizes `model` while `still_fails` keeps returning true
+/// on the rebuilt bug. Runs to a fixpoint; returns the smallest model
+/// found (possibly the input, if nothing could be removed).
+pub fn shrink(model: &Model, mut still_fails: impl FnMut(&SynthBug) -> bool) -> Model {
+    let mut best = model.clone();
+    loop {
+        let mut shrunk = false;
+        // Try dropping one scaffold element at a time, largest first
+        // (threads shrink the interleaving space the most).
+        for i in (0..best.spinners.len()).rev() {
+            let mut candidate = best.clone();
+            candidate.spinners.remove(i);
+            if still_fails(&SynthBug::from_model(candidate.clone())) {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+        for i in (0..best.helpers.len()).rev() {
+            let mut candidate = best.clone();
+            candidate.helpers.remove(i);
+            if still_fails(&SynthBug::from_model(candidate.clone())) {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+        if best.pad > 0 {
+            let mut candidate = best.clone();
+            candidate.pad = 0;
+            if still_fails(&SynthBug::from_model(candidate.clone())) {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::model::PatternKind;
+
+    #[test]
+    fn shrink_removes_all_scaffolding_when_the_predicate_ignores_it() {
+        // A predicate that only cares about the pattern accepts every
+        // deletion, so shrinking must reach the bare template.
+        for seed in 0..16u64 {
+            let model = Model::from_seed(seed);
+            let shrunk = shrink(&model, |bug| bug.truth.pattern == model.pattern);
+            assert!(shrunk.spinners.is_empty(), "seed {seed}");
+            assert!(shrunk.helpers.is_empty(), "seed {seed}");
+            assert_eq!(shrunk.pad, 0, "seed {seed}");
+            assert_eq!(shrunk.pattern, model.pattern);
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_everything_when_nothing_may_go() {
+        let model = Model::with_pattern(3, PatternKind::UseAfterFree);
+        let baseline = SynthBug::from_model(model.clone());
+        let want = baseline.program.stmt_count();
+        // Predicate pins the exact statement count: no deletion survives.
+        let shrunk = shrink(&model, |bug| bug.program.stmt_count() == want);
+        assert_eq!(shrunk, model);
+    }
+}

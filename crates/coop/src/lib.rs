@@ -21,6 +21,8 @@
 
 pub mod evaluate;
 pub mod fleet;
+pub mod synth_eval;
 
 pub use evaluate::{diagnose_bug, BugEvaluation, EvalConfig};
 pub use fleet::{FleetConfig, SimulatedFleet};
+pub use synth_eval::{diagnose_synth, SynthEvaluation};

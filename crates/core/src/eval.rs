@@ -1,0 +1,93 @@
+//! Coverage-targeted diagnosis: run the AsT loop until the sketch covers
+//! a ground-truth statement set.
+//!
+//! The interactive story of the paper has a developer refining the sketch
+//! until it explains the failure; the evaluation harnesses (hand-built
+//! bugbase, synthetic bugbase) mechanize that judgement as a *coverage
+//! target* — a conjunction of statement groups, each group the statements
+//! of one source line the sketch must mention. [`diagnose_until`] wires
+//! the target into [`GistServer::diagnose`]'s stop callback so AsT halts
+//! as soon as the root cause is on the sketch instead of burning the full
+//! iteration budget.
+
+use std::collections::BTreeSet;
+
+use gist_ir::InstrId;
+use gist_vm::FailureReport;
+
+use crate::client::Fleet;
+use crate::server::{DiagnosisResult, GistServer};
+
+/// A conjunction of statement groups the sketch must cover: one group per
+/// ground-truth source line, covered when *any* statement of the group is
+/// on the sketch (line granularity — a line's load and its address
+/// computation are interchangeable evidence).
+#[derive(Clone, Debug, Default)]
+pub struct CoverageTarget {
+    /// The groups; an empty group can never be covered (the target line
+    /// has no statements, so the goal is unreachable and `diagnose_until`
+    /// falls back to running AsT to saturation).
+    pub groups: Vec<Vec<InstrId>>,
+}
+
+impl CoverageTarget {
+    /// Builds a target from per-line statement groups.
+    pub fn from_groups(groups: Vec<Vec<InstrId>>) -> CoverageTarget {
+        CoverageTarget { groups }
+    }
+
+    /// True if every group has at least one statement in `stmts`.
+    pub fn covered_by(&self, stmts: &BTreeSet<InstrId>) -> bool {
+        self.groups
+            .iter()
+            .all(|g| !g.is_empty() && g.iter().any(|s| stmts.contains(s)))
+    }
+
+    /// True if the target can be satisfied at all (no empty groups).
+    pub fn achievable(&self) -> bool {
+        self.groups.iter().all(|g| !g.is_empty())
+    }
+}
+
+/// Runs the full diagnosis loop, stopping early once the sketch covers
+/// `target` (in addition to the server's own saturation criteria). With
+/// an empty target the loop stops at the first assembled sketch; with an
+/// unachievable one it runs to saturation like plain `diagnose`.
+pub fn diagnose_until(
+    server: &GistServer,
+    report: &FailureReport,
+    fleet: &mut dyn Fleet,
+    ideal: Option<&BTreeSet<InstrId>>,
+    target: &CoverageTarget,
+) -> DiagnosisResult {
+    server.diagnose(report, fleet, ideal, &mut |sketch| {
+        let stmts: BTreeSet<InstrId> = sketch.stmts().into_iter().collect();
+        target.covered_by(&stmts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_target_is_trivially_covered() {
+        let t = CoverageTarget::default();
+        assert!(t.covered_by(&BTreeSet::new()));
+        assert!(t.achievable());
+    }
+
+    #[test]
+    fn unachievable_target_never_covers() {
+        let t = CoverageTarget::from_groups(vec![vec![], vec![InstrId(3)]]);
+        assert!(!t.achievable());
+        assert!(!t.covered_by(&BTreeSet::from([InstrId(3)])));
+    }
+
+    #[test]
+    fn any_statement_of_a_group_satisfies_it() {
+        let t = CoverageTarget::from_groups(vec![vec![InstrId(1), InstrId(2)], vec![InstrId(9)]]);
+        assert!(t.covered_by(&BTreeSet::from([InstrId(2), InstrId(9)])));
+        assert!(!t.covered_by(&BTreeSet::from([InstrId(1), InstrId(2)])));
+    }
+}

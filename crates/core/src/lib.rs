@@ -25,6 +25,7 @@
 pub mod ast;
 pub mod client;
 pub mod engine;
+pub mod eval;
 pub mod refine;
 pub mod report;
 pub mod server;
@@ -32,6 +33,7 @@ pub mod server;
 pub use ast::AstController;
 pub use client::{ClientRunData, Fleet};
 pub use engine::SketchBuilder;
+pub use eval::{diagnose_until, CoverageTarget};
 pub use refine::Refinement;
 pub use report::{FailureCluster, FailureIndex};
 pub use server::{DiagnosisResult, GistConfig, GistServer};

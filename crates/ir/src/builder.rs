@@ -89,6 +89,14 @@ impl ProgramBuilder {
 
     /// Finishes the program: finalizes statement ids and validates.
     pub fn finish(mut self) -> Result<Program, Vec<ValidationError>> {
+        // The entry point is the function named `main`, wherever it was
+        // declared — not function 0. (The parser has always resolved the
+        // entry by name; the builder used to leave `entry` at the default
+        // `FuncId(0)`, so any built program that defined a worker routine
+        // before `main` started execution in the worker instead.)
+        if let Some(&main) = self.func_names.get("main") {
+            self.program.entry = main;
+        }
         // Give any still-pending declarations a trivial body so validation
         // treats calls to them as arity-checked no-ops.
         for id in std::mem::take(&mut self.pending) {
@@ -539,6 +547,22 @@ mod tests {
         let mut f = pb.function("main", &[]);
         f.const_i64("a", 1);
         f.finish();
+    }
+
+    #[test]
+    fn entry_is_main_even_when_declared_after_workers() {
+        // Regression: the synthetic-bugbase generator emits worker
+        // routines before `main`; the builder used to leave the entry at
+        // function 0, silently running the first worker as the program.
+        let mut pb = ProgramBuilder::new("t");
+        let mut w = pb.function("worker", &["x"]);
+        w.ret(None);
+        w.finish();
+        let mut m = pb.function("main", &[]);
+        m.ret(None);
+        m.finish();
+        let p = pb.finish().unwrap();
+        assert_eq!(p.entry, p.function_by_name("main").unwrap().id);
     }
 
     #[test]

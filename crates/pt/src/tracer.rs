@@ -93,6 +93,9 @@ pub struct PtTracer<'p> {
     /// Per-thread trace windows, indexed by tid (dense: the scheduler
     /// numbers tids from 0, and `handle` runs once per VM event).
     windows: Vec<TidWindow>,
+    /// Capacity for core buffers allocated after construction (the VM may
+    /// schedule onto more cores than `PtConfig.num_cores` anticipated).
+    buffer_capacity: usize,
     /// Call/ret classification per statement, indexed by `InstrId`.
     flags: Vec<u8>,
     /// Total branch events observed while tracing was enabled.
@@ -115,6 +118,7 @@ impl<'p> PtTracer<'p> {
             core_tid: vec![None; n],
             since_psb: vec![usize::MAX; n],
             windows: Vec::new(),
+            buffer_capacity: config.buffer_capacity,
             flags: stmt_flags(program),
             program,
             traced_branches: 0,
@@ -127,6 +131,21 @@ impl<'p> PtTracer<'p> {
     #[inline]
     fn window_active(&self, tid: u32) -> bool {
         self.windows.get(tid as usize).is_some_and(|w| w.active)
+    }
+
+    /// Grows the per-core state when the VM schedules onto a core the
+    /// tracer has not seen. Real PT allocates a buffer per logical core at
+    /// driver load; here the VM's core count is its own config, so a
+    /// mismatch must open a fresh stream rather than index out of bounds.
+    fn ensure_core(&mut self, core: u32) {
+        let idx = core as usize;
+        if self.buffers.len() <= idx {
+            let cap = self.buffer_capacity;
+            self.buffers
+                .resize_with(idx + 1, || TraceBuffer::with_capacity(cap));
+            self.core_tid.resize(idx + 1, None);
+            self.since_psb.resize(idx + 1, usize::MAX);
+        }
     }
 
     /// The window slot for `tid`, growing the table on first sight.
@@ -312,6 +331,7 @@ impl<'p> PtTracer<'p> {
     /// Processes one VM event (also available via the [`Observer`] impl).
     pub fn handle(&mut self, ev: &Event) {
         let tid = ev.tid();
+        self.ensure_core(ev.core());
         let enabled = self.driver.is_enabled(ev.core());
         if !enabled {
             // The first event a thread produces on a disabled core closes
@@ -653,6 +673,47 @@ entry:
         assert!(pips.contains(&0) && pips.contains(&1) && pips.contains(&2));
         // Round-robin quantum 1 forces many context switches.
         assert!(pips.len() > 6, "pips: {pips:?}");
+    }
+
+    #[test]
+    fn tracer_grows_when_vm_schedules_onto_unconfigured_cores() {
+        // Regression: a tracer sized for one core panicked with an
+        // out-of-bounds index when the VM (4 cores by default) placed a
+        // spawned thread on core 1+. The tracer must open fresh streams
+        // for cores it did not anticipate.
+        let text = r#"
+fn worker(arg) {
+entry:
+  ret
+}
+fn main() {
+entry:
+  t1 = spawn worker(0)
+  t2 = spawn worker(0)
+  join t1
+  join t2
+  ret
+}
+"#;
+        let p = parse_program("grow", text).unwrap();
+        let mut tracer = PtTracer::new(
+            &p,
+            PtDriver::always_on(),
+            PtConfig {
+                num_cores: 1,
+                buffer_capacity: crate::buffer::DEFAULT_CAPACITY,
+            },
+        );
+        let mut vm = Vm::new(&p, VmConfig::default());
+        vm.run(&mut [&mut tracer]);
+        tracer.finish();
+        assert!(
+            tracer.buffers().len() > 1,
+            "spawned threads never left core 0"
+        );
+        for b in tracer.buffers() {
+            Packet::decode_all(b.as_bytes()).expect("every grown stream decodes");
+        }
     }
 
     #[test]

@@ -229,12 +229,22 @@ fn overflowed_trace_decodes_to_prefixes() {
         vm.run(&mut [&mut truth, &mut tracer]);
         tracer.finish();
         let traces = tracer.take_traces();
-        let ovf_count = traces
+        let per_stream_ovf: Vec<usize> = traces
             .iter()
-            .flat_map(|t| Packet::decode_all(t).expect("stream decodes"))
-            .filter(|p| matches!(p, Packet::Ovf))
-            .count();
-        assert!(ovf_count <= 1, "seed {seed}: stop-on-full emits one OVF");
+            .map(|t| {
+                Packet::decode_all(t)
+                    .expect("stream decodes")
+                    .iter()
+                    .filter(|p| matches!(p, Packet::Ovf))
+                    .count()
+            })
+            .collect();
+        for (core, &n) in per_stream_ovf.iter().enumerate() {
+            assert!(
+                n <= 1,
+                "seed {seed}, core {core}: stop-on-full emits at most one OVF per stream"
+            );
+        }
         let decoded = decoder::decode(&program, &traces).expect("decodes");
         let mut tids: Vec<u32> = truth
             .events
@@ -265,7 +275,10 @@ fn overflowed_trace_decodes_to_prefixes() {
             );
         }
         if decoded.overflowed {
-            assert_eq!(ovf_count, 1, "seed {seed}: decoder saw the OVF marker");
+            assert!(
+                per_stream_ovf.iter().sum::<usize>() >= 1,
+                "seed {seed}: decoder reports overflow but no stream carries OVF"
+            );
         }
     }
 }

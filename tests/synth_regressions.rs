@@ -1,0 +1,159 @@
+//! Replays every archived synthetic-bugbase regression fixture.
+//!
+//! `tests/golden/synth-regressions/` holds `<name>.ir` + `<name>.truth`
+//! pairs: programs that once violated a generator property, shrunk to
+//! minimal scaffolding by `synth_prop.rs`'s failure handler (plus a few
+//! committed exemplars so the replay path itself stays exercised). Once
+//! the underlying bug is fixed and the pair committed, this suite keeps
+//! every fixture honest forever: the program must parse, pass the
+//! verifier, carry the lint finding its truth records, and manifest the
+//! recorded failure.
+//!
+//! Regenerate the exemplar fixtures after an intentional generator
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p gist-bench --test synth_regressions
+//! ```
+
+use std::path::PathBuf;
+
+use gist_analysis::ground_truth as gt;
+use gist_bugbase::synth::{
+    self, find_failure_in, GroundTruth, Model, PatternKind, SynthBug, SYNTH_FILE,
+};
+use gist_ir::parser::parse_program;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/synth-regressions")
+}
+
+/// The committed exemplars: shrunk-to-minimal bugs regenerated (and
+/// checked for drift) by [`exemplar_fixtures_are_current`]. One per
+/// failure-mechanism group so the replay path exercises an assert, a
+/// memory-lifetime failure, and a deadlock.
+const EXEMPLARS: &[(u64, PatternKind)] = &[
+    (3, PatternKind::AtomicityRwr),
+    (11, PatternKind::UseAfterFree),
+    (2, PatternKind::Deadlock),
+];
+
+fn exemplar_bug(seed: u64, pattern: PatternKind) -> SynthBug {
+    let model = Model::with_pattern(seed, pattern);
+    let shrunk = synth::shrink(&model, |b: &SynthBug| b.find_failure(100).is_some());
+    SynthBug::from_model(shrunk)
+}
+
+#[test]
+fn exemplar_fixtures_are_current() {
+    let dir = fixture_dir();
+    for &(seed, pattern) in EXEMPLARS {
+        let bug = exemplar_bug(seed, pattern);
+        let ir_path = dir.join(format!("{}.ir", bug.name));
+        let truth_path = dir.join(format!("{}.truth", bug.name));
+        let truth_text = format!(
+            "# exemplar: shrunk {:?} seed {seed}\n{}",
+            pattern,
+            bug.truth.render()
+        );
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(&dir).expect("create fixture dir");
+            std::fs::write(&ir_path, bug.text()).expect("write .ir");
+            std::fs::write(&truth_path, truth_text).expect("write .truth");
+            continue;
+        }
+        let ir = std::fs::read_to_string(&ir_path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing exemplar {} ({e}); run with UPDATE_GOLDEN=1",
+                bug.name,
+                ir_path.display()
+            )
+        });
+        assert_eq!(
+            ir,
+            bug.text(),
+            "{}: exemplar drifted from the generator (UPDATE_GOLDEN=1 to accept)",
+            bug.name
+        );
+        let truth = std::fs::read_to_string(&truth_path).expect("truth exists beside .ir");
+        assert_eq!(
+            truth, truth_text,
+            "{}: exemplar truth drifted (UPDATE_GOLDEN=1 to accept)",
+            bug.name
+        );
+    }
+}
+
+#[test]
+fn every_archived_fixture_replays_clean() {
+    let dir = fixture_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {} unreadable: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "ir")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "no fixtures in {} — the committed exemplars are gone",
+        dir.display()
+    );
+
+    for name in names {
+        let ir = std::fs::read_to_string(dir.join(format!("{name}.ir"))).expect("read .ir");
+        let truth_text = std::fs::read_to_string(dir.join(format!("{name}.truth")))
+            .unwrap_or_else(|e| panic!("{name}: fixture has no .truth ({e})"));
+        let program = parse_program(&name, &ir)
+            .unwrap_or_else(|e| panic!("{name}: fixture does not parse: {e:?}"));
+        let truth = GroundTruth::parse(&truth_text)
+            .unwrap_or_else(|e| panic!("{name}: fixture truth does not parse: {e}"));
+
+        let verify = gist_analysis::verify(&program);
+        assert!(
+            !gist_analysis::has_errors(&verify),
+            "{name}: fixture no longer passes the verifier: {verify:?}"
+        );
+
+        match truth.code() {
+            None => {
+                assert!(
+                    gt::lint_all(&program).is_empty(),
+                    "{name}: control fixture has lint findings"
+                );
+            }
+            Some(code) => {
+                let diags = gt::lint_all(&program);
+                let on_lines =
+                    gt::findings_on_lines(&program, &diags, code, SYNTH_FILE, &truth.static_lines);
+                assert!(
+                    !on_lines.is_empty(),
+                    "{name}: no {code} finding on lines {:?} (codes: {:?})",
+                    truth.static_lines,
+                    diags.iter().map(|d| d.code).collect::<Vec<_>>()
+                );
+            }
+        }
+
+        if truth.expected.is_some() {
+            assert!(
+                find_failure_in(&program, &truth, 400).is_some(),
+                "{name}: fixture no longer manifests its recorded failure"
+            );
+        }
+
+        for &line in truth
+            .root_cause_lines
+            .iter()
+            .chain(&truth.static_lines)
+            .chain(&truth.ideal_lines)
+        {
+            assert!(
+                !synth::stmts_at(&program, line).is_empty(),
+                "{name}: truth references line {line} with no statements"
+            );
+        }
+    }
+}
