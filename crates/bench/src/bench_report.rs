@@ -9,8 +9,9 @@
 //!   runs (the gist-obs determinism contract), so CI can diff it against a
 //!   committed baseline.
 //! * `throughput` — execution rates: instrs/sec, runs/sec, and batch
-//!   scaling at batch=1/2/4/8/16. Wall-clock derived; never compared
-//!   byte-for-byte.
+//!   scaling with machine-aware arms (1/2/4/…/N for N =
+//!   [`std::thread::available_parallelism`]) plus per-arm fleet contention
+//!   statistics. Wall-clock derived; never compared byte-for-byte.
 //! * `timing` — wall-clock per bug and span timers. Real time; never
 //!   compared byte-for-byte.
 
@@ -23,13 +24,47 @@ use gist_obs::json::Json;
 use gist_slicing::StaticSlicer;
 use gist_tracking::{InstrumentationPatch, Planner};
 
-/// Runs per batch arm of the throughput measurement. A multiple of every
-/// batch size in [`THROUGHPUT_BATCHES`], so each arm executes exactly the
-/// same number of runs.
-pub const THROUGHPUT_RUNS: u64 = 512;
+/// Baseline runs per batch arm of the throughput measurement; the actual
+/// count is rounded up by [`throughput_runs`] to a common multiple of
+/// every arm so each arm executes exactly the same runs.
+const THROUGHPUT_RUNS_BASE: u64 = 512;
 
-/// The batch-scaling arms of the throughput measurement.
-pub const THROUGHPUT_BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+/// The machine-aware batch-scaling arms: 1, 2, 4, … doubling up to the
+/// machine's [`std::thread::available_parallelism`] N, with N itself
+/// appended when it is not a power of two. One core yields just `[1]` —
+/// parallel arms would only measure oversubscription noise.
+pub fn throughput_batches() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut arms = Vec::new();
+    let mut b = 1usize;
+    while b <= cores {
+        arms.push(b);
+        b *= 2;
+    }
+    if *arms.last().expect("at least batch=1") != cores {
+        arms.push(cores);
+    }
+    arms
+}
+
+/// Runs per batch arm: the smallest multiple of every arm's batch size
+/// that is ≥ [`THROUGHPUT_RUNS_BASE`], so no arm over-prefetches at the
+/// tail and all arms execute identical run sets.
+pub fn throughput_runs(batches: &[usize]) -> u64 {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let lcm = batches
+        .iter()
+        .fold(1u64, |l, &b| l / gcd(l, b as u64) * b as u64);
+    THROUGHPUT_RUNS_BASE.div_ceil(lcm) * lcm
+}
 
 /// One bench run's output, split along the determinism contract.
 #[derive(Clone, Debug)]
@@ -107,7 +142,7 @@ fn throughput_patch(bug: &BugSpec) -> InstrumentationPatch {
 }
 
 /// One batch arm of the throughput measurement.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ThroughputArm {
     /// Parallel batch size of this arm.
     pub batch: usize,
@@ -116,6 +151,11 @@ pub struct ThroughputArm {
     /// Retired VM instructions per second (0 under `metrics-off`, which
     /// compiles the `vm.instr_retired` counter away).
     pub instrs_per_sec: f64,
+    /// Pool worker threads the arm's fleet spawned.
+    pub pool_workers: usize,
+    /// Per-executor contention statistics (steals, queue-empty waits,
+    /// decode-shard hit ratios) harvested from the arm's fleet.
+    pub contention: gist_coop::FleetStats,
 }
 
 /// Measures fleet throughput over `runs` tracked runs of pbzip2-1 for each
@@ -134,6 +174,7 @@ pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<ThroughputArm> {
                     endpoints: 64,
                     num_cores: 4,
                     batch,
+                    workers: None,
                 },
             );
             let instrs0 = retired.get();
@@ -146,6 +187,8 @@ pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<ThroughputArm> {
                 batch,
                 runs_per_sec: runs as f64 / secs,
                 instrs_per_sec: (retired.get() - instrs0) as f64 / secs,
+                pool_workers: fleet.pool_workers(),
+                contention: fleet.contention_stats(),
             }
         })
         .collect()
@@ -153,9 +196,9 @@ pub fn fleet_throughput(runs: u64, batches: &[usize]) -> Vec<ThroughputArm> {
 
 /// Renders the throughput arms as the report's `throughput` section:
 /// headline `runs_per_sec` / `instrs_per_sec` (the best arm) plus a
-/// `batch_scaling` table keyed by batch size with per-arm rates and
-/// speedup relative to batch=1.
-fn throughput_value(arms: &[ThroughputArm]) -> Json {
+/// `batch_scaling` table keyed by batch size with per-arm rates, speedup
+/// relative to batch=1, pool size, and contention statistics.
+fn throughput_value(runs_per_arm: u64, arms: &[ThroughputArm]) -> Json {
     let batch1 = arms
         .iter()
         .find(|a| a.batch == 1)
@@ -182,12 +225,22 @@ fn throughput_value(arms: &[ThroughputArm]) -> Json {
                             0.0
                         }),
                     ),
+                    ("pool_workers".into(), Json::U64(a.pool_workers as u64)),
+                    ("contention".into(), a.contention.to_value()),
                 ]),
             )
         })
         .collect();
     Json::Obj(vec![
-        ("runs_per_arm".into(), Json::U64(THROUGHPUT_RUNS)),
+        ("runs_per_arm".into(), Json::U64(runs_per_arm)),
+        (
+            "available_parallelism".into(),
+            Json::U64(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
         (
             "runs_per_sec".into(),
             Json::F64(best.map_or(0.0, |a| a.runs_per_sec)),
@@ -245,8 +298,10 @@ pub fn run(filter: Option<&[&str]>) -> (BenchReport, Vec<BugEvaluation>) {
         ("drain_ms".into(), Json::F64(drain_ms)),
     ]);
 
-    let arms = fleet_throughput(THROUGHPUT_RUNS, &THROUGHPUT_BATCHES);
-    let throughput = throughput_value(&arms);
+    let batches = throughput_batches();
+    let runs_per_arm = throughput_runs(&batches);
+    let arms = fleet_throughput(runs_per_arm, &batches);
+    let throughput = throughput_value(runs_per_arm, &arms);
     let timing = Json::Obj(vec![
         (
             "total_ms".into(),

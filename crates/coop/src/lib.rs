@@ -24,5 +24,5 @@ pub mod fleet;
 pub mod synth_eval;
 
 pub use evaluate::{diagnose_bug, BugEvaluation, EvalConfig};
-pub use fleet::{FleetConfig, SimulatedFleet};
+pub use fleet::{FleetConfig, FleetStats, SimulatedFleet, WorkerStats};
 pub use synth_eval::{diagnose_synth, SynthEvaluation};

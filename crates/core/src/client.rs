@@ -40,6 +40,13 @@ pub trait Fleet {
     /// returns its data. Successive calls represent successive runs in
     /// the data center / user endpoints.
     fn next_run(&mut self, patch: &InstrumentationPatch) -> ClientRunData;
+
+    /// Advises the fleet how many more runs the server expects to request
+    /// in the current collection round, so batching fleets can size their
+    /// prefetch and avoid executing runs that would only be discarded.
+    /// Purely a throughput hint: implementations must return identical
+    /// run data with or without it. Default: ignored.
+    fn hint_runs_remaining(&mut self, _remaining: u64) {}
 }
 
 impl<F> Fleet for F

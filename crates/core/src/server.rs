@@ -382,6 +382,9 @@ impl<'p> GistServer<'p> {
                 gist_obs::histogram!("tracking.patch_points")
                     .record(patch.instrumentation_points() as u64);
 
+                fleet.hint_runs_remaining(
+                    (self.config.max_runs_per_iteration - runs_this_iter) as u64,
+                );
                 let run = fleet.next_run(&patch);
                 runs_this_iter += 1;
                 let failing = run.matches_failure(signature);

@@ -1,0 +1,217 @@
+//! Per-worker deferred metric accumulation.
+//!
+//! Relaxed atomics are lock-free but not contention-free: a fleet of
+//! worker threads bumping the same counter cache lines serializes the hot
+//! loop on cache-coherence traffic. A worker that expects to record many
+//! metrics installs a thread-local accumulator with [`defer_metrics`];
+//! while it is active, [`crate::Counter::add`] and
+//! [`crate::Histogram::record`] buffer into plain (non-atomic)
+//! thread-local storage instead of touching the shared cells. The buffer
+//! drains into the real atomics at [`flush_deferred`] (fleet workers call
+//! it at the end of every batch) and when the guard drops.
+//!
+//! Totals are exact: every deferred add is applied before the guard is
+//! released, and addition is commutative, so a quiescent
+//! [`crate::snapshot`] sees the same values as undeferred recording —
+//! deferral changes *when* the atomics are written, never *what* they
+//! accumulate. The determinism contract is unaffected.
+//!
+//! With `metrics-off` the entire module compiles to no-ops.
+
+#[cfg(not(feature = "metrics-off"))]
+use std::cell::RefCell;
+
+#[cfg(not(feature = "metrics-off"))]
+use crate::counter::Counter;
+#[cfg(not(feature = "metrics-off"))]
+use crate::histogram::Histogram;
+
+/// Deferred-sample cap: past this many buffered histogram samples the
+/// buffer self-flushes (correctness never depends on batch-end flushes).
+#[cfg(not(feature = "metrics-off"))]
+const SAMPLE_CAP: usize = 4096;
+
+#[cfg(not(feature = "metrics-off"))]
+#[derive(Default)]
+struct DeferBuf {
+    /// Per-counter accumulated additions; a linear pointer scan — worker
+    /// hot paths touch only a handful of distinct counters.
+    counters: Vec<(&'static Counter, u64)>,
+    /// Raw histogram samples, replayed on flush (buckets and max need the
+    /// individual values, not a sum).
+    samples: Vec<(&'static Histogram, u64)>,
+}
+
+#[cfg(not(feature = "metrics-off"))]
+impl DeferBuf {
+    fn flush(&mut self) {
+        for (c, n) in self.counters.drain(..) {
+            c.add_now(n);
+        }
+        for (h, v) in self.samples.drain(..) {
+            h.record_now(v);
+        }
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+thread_local! {
+    static DEFER: RefCell<Option<DeferBuf>> = const { RefCell::new(None) };
+}
+
+/// RAII guard returned by [`defer_metrics`]; flushes and disables deferral
+/// on this thread when dropped.
+#[must_use = "deferral ends (and flushes) when the guard is dropped"]
+#[derive(Debug)]
+pub struct DeferGuard {
+    /// False when deferral was already active on this thread (the guard is
+    /// then inert and the outer guard keeps ownership).
+    active: bool,
+}
+
+/// Enables deferred metric accumulation on the calling thread until the
+/// returned guard drops. Nested calls return an inert guard.
+pub fn defer_metrics() -> DeferGuard {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        DEFER.with(|d| {
+            let mut d = d.borrow_mut();
+            if d.is_some() {
+                DeferGuard { active: false }
+            } else {
+                *d = Some(DeferBuf::default());
+                DeferGuard { active: true }
+            }
+        })
+    }
+    #[cfg(feature = "metrics-off")]
+    DeferGuard { active: false }
+}
+
+/// Drains the calling thread's deferred buffer into the shared atomics.
+/// No-op when deferral is inactive. Fleet workers call this at batch end,
+/// *before* reporting the batch complete, so arm-boundary counter reads
+/// (e.g. `vm.instr_retired` deltas) are exact.
+pub fn flush_deferred() {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let _ = DEFER.try_with(|d| {
+            if let Some(buf) = d.borrow_mut().as_mut() {
+                buf.flush();
+            }
+        });
+    }
+}
+
+impl Drop for DeferGuard {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "metrics-off"))]
+        if self.active {
+            let _ = DEFER.try_with(|d| {
+                let mut d = d.borrow_mut();
+                if let Some(buf) = d.as_mut() {
+                    buf.flush();
+                }
+                *d = None;
+            });
+        }
+        #[cfg(feature = "metrics-off")]
+        let _ = self.active;
+    }
+}
+
+/// Buffers a counter addition if deferral is active. Returns false when
+/// the caller should apply the add directly.
+#[cfg(not(feature = "metrics-off"))]
+#[inline]
+pub(crate) fn try_defer_add(c: &'static Counter, n: u64) -> bool {
+    DEFER
+        .try_with(|d| {
+            let mut d = d.borrow_mut();
+            match d.as_mut() {
+                Some(buf) => {
+                    for (pc, pn) in buf.counters.iter_mut() {
+                        if std::ptr::eq(*pc, c) {
+                            *pn += n;
+                            return true;
+                        }
+                    }
+                    buf.counters.push((c, n));
+                    true
+                }
+                None => false,
+            }
+        })
+        .unwrap_or(false)
+}
+
+/// Buffers a histogram sample if deferral is active. Returns false when
+/// the caller should record directly.
+#[cfg(not(feature = "metrics-off"))]
+#[inline]
+pub(crate) fn try_defer_sample(h: &'static Histogram, v: u64) -> bool {
+    DEFER
+        .try_with(|d| {
+            let mut d = d.borrow_mut();
+            match d.as_mut() {
+                Some(buf) => {
+                    buf.samples.push((h, v));
+                    if buf.samples.len() >= SAMPLE_CAP {
+                        buf.flush();
+                    }
+                    true
+                }
+                None => false,
+            }
+        })
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferred_adds_flush_exactly_once() {
+        let c = crate::counter_by_name("obs_test.defer_counter");
+        let h = crate::histogram_by_name("obs_test.defer_histogram");
+        let before = c.get();
+        {
+            let _g = defer_metrics();
+            c.add(3);
+            c.add(4);
+            h.record(5);
+            if cfg!(not(feature = "metrics-off")) {
+                assert_eq!(c.get(), before, "adds deferred, atomics untouched");
+            }
+            flush_deferred();
+            if cfg!(not(feature = "metrics-off")) {
+                assert_eq!(c.get(), before + 7, "flush applies the exact total");
+            }
+            c.add(1);
+        }
+        if cfg!(not(feature = "metrics-off")) {
+            assert_eq!(c.get(), before + 8, "guard drop flushes the remainder");
+            assert_eq!(h.snapshot().max, 5);
+        }
+    }
+
+    #[test]
+    fn nested_guard_is_inert() {
+        let c = crate::counter_by_name("obs_test.defer_nested");
+        let before = c.get();
+        let _outer = defer_metrics();
+        {
+            let _inner = defer_metrics();
+            c.add(2);
+        }
+        // The inner guard must not flush or disable the outer deferral.
+        if cfg!(not(feature = "metrics-off")) {
+            assert_eq!(c.get(), before, "outer deferral still active");
+        }
+        drop(_outer);
+        if cfg!(not(feature = "metrics-off")) {
+            assert_eq!(c.get(), before + 2);
+        }
+    }
+}

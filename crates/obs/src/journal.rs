@@ -204,6 +204,18 @@ pub fn end_trace(iterations: u64, recurrences: u64) {
     }
 }
 
+/// Flushes the calling thread's buffered events into the global sink
+/// without draining it. Thread-local buffers otherwise flush every
+/// [`FLUSH_EVERY`] events and at thread exit — persistent worker threads
+/// (which outlive many batches) call this at batch end so a subsequent
+/// [`drain`] from the dispatching thread sees their events.
+pub fn flush_local() {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+    }
+}
+
 /// Flushes the calling thread's buffer and takes every buffered event,
 /// sorted by sequence number. The journal is empty afterwards (recording
 /// continues; seq numbers keep growing until [`reset`]).

@@ -19,7 +19,8 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    fn to_value(&self) -> Json {
+    /// Renders as a `{count, sum, max, buckets}` [`Json`] object.
+    pub fn to_value(&self) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::U64(self.count)),
             ("sum".into(), Json::U64(self.sum)),

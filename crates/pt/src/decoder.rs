@@ -13,7 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gist_ir::{Callee, InstrId, Op, Program, Terminator};
 
@@ -255,10 +255,18 @@ struct CacheEntry {
 ///   warm-cache runs stay byte-identical to cold ones.
 /// * Only successful decodes are cached; a [`DecodeError`] caches nothing.
 ///
-/// Thread-safe: fleet workers share one cache behind an `Arc`.
+/// Thread-safe sharing model: the cache holds an *epoch-published*
+/// read-only snapshot (`Arc<HashMap<…>>`) behind a mutex that is touched
+/// only at publish/refresh points, never per segment. Decoding goes through
+/// a [`DecodeCacheShard`] — a single-owner view holding the snapshot `Arc`
+/// plus a private map of fresh entries — so the hot loop probes plain
+/// `HashMap`s with zero lock acquisitions. Fleet workers refresh their
+/// shard at batch start and [`DecodeCache::absorb`] it at batch end, which
+/// copy-on-write-merges the fresh entries and publishes a new snapshot for
+/// the next epoch.
 #[derive(Debug, Default)]
 pub struct DecodeCache {
-    inner: Mutex<HashMap<u64, CacheEntry>>,
+    published: Mutex<Arc<HashMap<u64, Arc<CacheEntry>>>>,
 }
 
 impl DecodeCache {
@@ -271,14 +279,106 @@ impl DecodeCache {
         Self::default()
     }
 
-    /// Number of memoized segments.
+    /// Number of memoized segments in the published snapshot.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
-    /// True if nothing has been memoized yet.
+    /// True if nothing has been published yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Creates a shard warmed from the current published snapshot.
+    pub fn shard(&self) -> DecodeCacheShard {
+        DecodeCacheShard {
+            snapshot: Arc::clone(&self.published.lock().unwrap_or_else(|e| e.into_inner())),
+            fresh: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Merges the shard's fresh entries into the cache and publishes a new
+    /// snapshot, then re-points the shard at it (so the shard can keep
+    /// decoding in the next epoch without a separate refresh). Statistics
+    /// are left on the shard for the caller to harvest.
+    ///
+    /// Insertion respects [`DecodeCache::MAX_ENTRIES`]; concurrent absorbs
+    /// of the same segment from two shards keep whichever lands second —
+    /// both map to identical replay data, so the choice is unobservable.
+    pub fn absorb(&self, shard: &mut DecodeCacheShard) {
+        let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
+        if shard.fresh.is_empty() {
+            shard.snapshot = Arc::clone(&published);
+            return;
+        }
+        let mut merged: HashMap<u64, Arc<CacheEntry>> = (**published).clone();
+        for (hash, entry) in shard.fresh.drain() {
+            if merged.len() >= Self::MAX_ENTRIES && !merged.contains_key(&hash) {
+                continue;
+            }
+            merged.insert(hash, entry);
+        }
+        *published = Arc::new(merged);
+        shard.snapshot = Arc::clone(&published);
+    }
+}
+
+/// A single-owner decode view over a [`DecodeCache`]: an immutable epoch
+/// snapshot plus privately accumulated fresh entries. Probing and insertion
+/// never take a lock; fresh entries become visible to other shards only
+/// after [`DecodeCache::absorb`].
+///
+/// Hit/miss tallies are *scheduling-dependent* (which worker decodes which
+/// run, and what its shard has absorbed, varies with thread interleaving),
+/// so they are plain fields harvested by the fleet's contention stats — by
+/// design they never touch the global metric registry, keeping the
+/// deterministic snapshot batch-shape-invariant.
+#[derive(Debug)]
+pub struct DecodeCacheShard {
+    snapshot: Arc<HashMap<u64, Arc<CacheEntry>>>,
+    fresh: HashMap<u64, Arc<CacheEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCacheShard {
+    /// Segment probes answered from the snapshot or fresh map.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Segment probes that fell through to a cold decode.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets the hit/miss tallies (typically after harvesting them into a
+    /// batch report).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Re-points the shard at `cache`'s current published snapshot without
+    /// contributing the shard's fresh entries (use [`DecodeCache::absorb`]
+    /// to contribute *and* refresh).
+    pub fn refresh(&mut self, cache: &DecodeCache) {
+        self.snapshot = Arc::clone(&cache.published.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    fn lookup(&self, hash: u64) -> Option<&Arc<CacheEntry>> {
+        self.snapshot.get(&hash).or_else(|| self.fresh.get(&hash))
+    }
+
+    fn insert(&mut self, hash: u64, entry: CacheEntry) {
+        if self.snapshot.len() + self.fresh.len() < DecodeCache::MAX_ENTRIES {
+            self.fresh.insert(hash, Arc::new(entry));
+        }
     }
 }
 
@@ -290,13 +390,13 @@ fn segment_hash(fingerprint: u64, entry_state: &StateSnapshot, seg_bytes: &[u8])
     h.finish()
 }
 
-/// Decodes one core's byte stream through the segment cache.
+/// Decodes one core's byte stream through a segment-cache shard.
 fn decode_core_cached(
     program: &Program,
     bytes: &[u8],
     out: &mut DecodedTrace,
     core_seq: &mut Vec<(u32, InstrId)>,
-    cache: &DecodeCache,
+    shard: &mut DecodeCacheShard,
 ) -> Result<(), DecodeError> {
     let packets = Packet::decode_all(bytes).map_err(DecodeError::BadBytes)?;
     gist_obs::counter!("pt.packets_decoded").add(packets.len() as u64);
@@ -327,27 +427,26 @@ fn decode_core_cached(
         let seg_bytes = &bytes[offsets[p0]..offsets[p1]];
         let entry_state = snapshot(&walkers, current);
         let hash = segment_hash(fingerprint, &entry_state, seg_bytes);
-        let hit = {
-            let map = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
-            match map.get(&hash) {
-                Some(e)
-                    if e.fingerprint == fingerprint
-                        && e.entry_state == entry_state
-                        && e.bytes == seg_bytes =>
-                {
-                    core_seq.extend_from_slice(&e.seq);
-                    out.branches.extend_from_slice(&e.branches);
-                    out.overflowed |= e.overflowed;
-                    walkers = e.exit_state.walkers.iter().cloned().collect();
-                    current = e.exit_state.current;
-                    true
-                }
-                _ => false,
+        let hit = match shard.lookup(hash) {
+            Some(e)
+                if e.fingerprint == fingerprint
+                    && e.entry_state == entry_state
+                    && e.bytes == seg_bytes =>
+            {
+                core_seq.extend_from_slice(&e.seq);
+                out.branches.extend_from_slice(&e.branches);
+                out.overflowed |= e.overflowed;
+                walkers = e.exit_state.walkers.iter().cloned().collect();
+                current = e.exit_state.current;
+                true
             }
+            _ => false,
         };
         if hit {
+            shard.hits += 1;
             continue;
         }
+        shard.misses += 1;
         let seq0 = core_seq.len();
         let br0 = out.branches.len();
         apply_packets(
@@ -369,10 +468,7 @@ fn decode_core_cached(
             overflowed: packets[p0..p1].iter().any(|p| matches!(p, Packet::Ovf)),
             exit_state: snapshot(&walkers, current),
         };
-        let mut map = cache.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if map.len() < DecodeCache::MAX_ENTRIES {
-            map.insert(hash, entry);
-        }
+        shard.insert(hash, entry);
     }
     Ok(())
 }
@@ -385,18 +481,38 @@ pub fn decode(program: &Program, core_bytes: &[Vec<u8>]) -> Result<DecodedTrace,
 /// Like [`decode`], but memoizes PSB-delimited segments in `cache`. The
 /// result is guaranteed identical to [`decode`] on the same input — see
 /// [`DecodeCache`] for the contract.
+///
+/// Convenience wrapper over the shard API: snapshots the cache, decodes
+/// lock-free, then absorbs fresh segments back — two lock acquisitions per
+/// run instead of the shard-less one-per-segment. Long-lived callers (fleet
+/// workers) should hold a [`DecodeCacheShard`] across runs and use
+/// [`decode_with_shard`] instead.
 pub fn decode_with_cache(
     program: &Program,
     core_bytes: &[Vec<u8>],
     cache: &DecodeCache,
 ) -> Result<DecodedTrace, DecodeError> {
-    decode_inner(program, core_bytes, Some(cache))
+    let mut shard = cache.shard();
+    let out = decode_inner(program, core_bytes, Some(&mut shard));
+    cache.absorb(&mut shard);
+    out
+}
+
+/// Like [`decode`], but memoizes PSB-delimited segments in the caller's
+/// [`DecodeCacheShard`] with zero lock acquisitions. Output is guaranteed
+/// identical to [`decode`] on the same input.
+pub fn decode_with_shard(
+    program: &Program,
+    core_bytes: &[Vec<u8>],
+    shard: &mut DecodeCacheShard,
+) -> Result<DecodedTrace, DecodeError> {
+    decode_inner(program, core_bytes, Some(shard))
 }
 
 fn decode_inner(
     program: &Program,
     core_bytes: &[Vec<u8>],
-    cache: Option<&DecodeCache>,
+    mut shard: Option<&mut DecodeCacheShard>,
 ) -> Result<DecodedTrace, DecodeError> {
     let _span = gist_obs::span("pt.decode");
     gist_obs::counter!("pt.decodes").inc();
@@ -405,8 +521,8 @@ fn decode_inner(
     let mut out = DecodedTrace::default();
     for (core, bytes) in core_bytes.iter().enumerate() {
         let mut seq = Vec::new();
-        match cache {
-            Some(c) => decode_core_cached(program, bytes, &mut out, &mut seq, c)?,
+        match shard.as_deref_mut() {
+            Some(s) => decode_core_cached(program, bytes, &mut out, &mut seq, s)?,
             None => decode_core(program, bytes, &mut out, &mut seq)?,
         }
         // One journal event per core buffer, recorded after the decode so

@@ -32,7 +32,10 @@ pub mod pool;
 pub mod tracer;
 
 pub use buffer::TraceBuffer;
-pub use decoder::{decode, decode_with_cache, DecodeCache, DecodeError, DecodedTrace};
+pub use decoder::{
+    decode, decode_with_cache, decode_with_shard, DecodeCache, DecodeCacheShard, DecodeError,
+    DecodedTrace,
+};
 pub use driver::PtDriver;
 pub use packet::Packet;
 pub use pool::BufferPool;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use gist_ir::{InstrId, Program};
 use gist_pt::decoder::DecodedTrace;
-use gist_pt::{BufferPool, DecodeCache, PtConfig, PtDriver, PtTracer};
+use gist_pt::{BufferPool, DecodeCache, DecodeCacheShard, PtConfig, PtDriver, PtTracer};
 use gist_vm::{Event, Observer};
 use gist_watch::{WatchCondition, WatchError, WatchHit, WatchUnit};
 
@@ -108,6 +108,9 @@ pub struct TrackerRuntime<'p> {
     missed_arms: u64,
     /// Cross-run decode memoization (fleet-shared); `None` = cold decode.
     decode_cache: Option<Arc<DecodeCache>>,
+    /// Worker-owned decode shard; takes precedence over `decode_cache` and
+    /// decodes with zero lock acquisitions.
+    decode_shard: Option<&'p mut DecodeCacheShard>,
     /// Trace-storage recycling (fleet-shared); `None` = fresh allocations.
     buffer_pool: Option<Arc<BufferPool>>,
 }
@@ -141,6 +144,7 @@ impl<'p> TrackerRuntime<'p> {
             pending_resume: vec![false; num_cores.max(1) as usize],
             missed_arms: 0,
             decode_cache: None,
+            decode_shard: None,
             buffer_pool: None,
         }
     }
@@ -149,6 +153,15 @@ impl<'p> TrackerRuntime<'p> {
     /// decodes through it. Output is guaranteed identical to a cold decode.
     pub fn with_decode_cache(mut self, cache: Arc<DecodeCache>) -> Self {
         self.decode_cache = Some(cache);
+        self
+    }
+
+    /// Lends a worker-owned [`DecodeCacheShard`] for this run: decode then
+    /// probes and fills the shard with zero lock acquisitions. Takes
+    /// precedence over [`TrackerRuntime::with_decode_cache`]. Output is
+    /// guaranteed identical to a cold decode.
+    pub fn with_decode_shard(mut self, shard: &'p mut DecodeCacheShard) -> Self {
+        self.decode_shard = Some(shard);
         self
     }
 
@@ -171,9 +184,12 @@ impl<'p> TrackerRuntime<'p> {
         let pt_bytes = self.tracer.total_bytes();
         let traced_retired = self.tracer.traced_retired();
         let traces = self.tracer.take_traces();
-        let decoded = match &self.decode_cache {
-            Some(cache) => gist_pt::decoder::decode_with_cache(self.program, &traces, cache),
-            None => gist_pt::decoder::decode(self.program, &traces),
+        let decoded = match (&mut self.decode_shard, &self.decode_cache) {
+            (Some(shard), _) => gist_pt::decoder::decode_with_shard(self.program, &traces, shard),
+            (None, Some(cache)) => {
+                gist_pt::decoder::decode_with_cache(self.program, &traces, cache)
+            }
+            (None, None) => gist_pt::decoder::decode(self.program, &traces),
         }
         .unwrap_or_else(|e| {
             // An undecodable trace yields an empty one; refinement then

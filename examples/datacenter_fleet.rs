@@ -21,7 +21,8 @@ fn main() {
         fleet: FleetConfig {
             endpoints: 256,
             num_cores: 4,
-            batch: 8, // collect batches of runs on real OS threads
+            batch: 8, // collect batches of runs on the persistent pool
+            workers: None,
         },
         failing_per_iteration: 5,
         ..EvalConfig::default()

@@ -9,7 +9,7 @@
 //! the process-global metrics registry, so it cannot share a process with
 //! other metric-producing tests.
 
-use gist_bench::bench_report::{self, THROUGHPUT_BATCHES};
+use gist_bench::bench_report::{self, throughput_batches};
 use gist_obs::json::Json;
 
 fn obj_get<'a>(v: &'a Json, key: &str) -> Option<&'a Json> {
@@ -57,10 +57,22 @@ fn deterministic_section_is_byte_identical_across_runs() {
         );
     }
     let scaling = obj_get(throughput, "batch_scaling").expect("throughput has `batch_scaling`");
-    for batch in THROUGHPUT_BATCHES {
+    let batches = throughput_batches();
+    assert_eq!(batches[0], 1, "arms start at the sequential baseline");
+    assert!(
+        batches.windows(2).all(|w| w[0] < w[1]),
+        "arms are strictly increasing: {batches:?}"
+    );
+    for batch in batches {
         let arm = obj_get(scaling, &batch.to_string())
             .unwrap_or_else(|| panic!("batch_scaling has a batch={batch} arm"));
-        for key in ["runs_per_sec", "instrs_per_sec", "speedup_vs_batch1"] {
+        for key in [
+            "runs_per_sec",
+            "instrs_per_sec",
+            "speedup_vs_batch1",
+            "pool_workers",
+            "contention",
+        ] {
             assert!(obj_get(arm, key).is_some(), "batch={batch} arm has `{key}`");
         }
         match obj_get(arm, "runs_per_sec") {
