@@ -19,7 +19,8 @@
 //!   ... sketch <bug> --explain   # + provenance chains from the journal
 //! repro bugs                # list bug names
 //! repro bench               # full-bugbase perf run -> BENCH_gist.json
-//!                           #   + flight recorder -> JOURNAL_gist.jsonl
+//!                           #   + flight recorder -> JOURNAL_gist.bin
+//!                           #   + JSONL export    -> JOURNAL_gist.jsonl
 //! repro bench --synthetic N --seed S
 //!                           # N seeded synthetic bugs through the full
 //!                           # AsT loop -> BENCH_gist.json + accuracy
@@ -139,20 +140,32 @@ fn bench(out: Option<&str>) {
         std::process::exit(1);
     }
     // The flight-recorder journal rides along next to the report, named
-    // after it (`BENCH_gist.json` -> `JOURNAL_gist.jsonl`); explore it
-    // with `gist-trace summary|grep|explain|export`.
-    let journal_path = if path == "BENCH_gist.json" {
-        "JOURNAL_gist.jsonl".to_owned()
+    // after it: the canonical binary journal (`BENCH_gist.json` ->
+    // `JOURNAL_gist.bin`) plus its JSONL export (`JOURNAL_gist.jsonl`);
+    // explore either with `gist-trace summary|grep|explain|query|export`.
+    let (binary_path, jsonl_path) = if path == "BENCH_gist.json" {
+        (
+            "JOURNAL_gist.bin".to_owned(),
+            "JOURNAL_gist.jsonl".to_owned(),
+        )
     } else {
-        format!("{path}.journal.jsonl")
+        (
+            format!("{path}.journal.bin"),
+            format!("{path}.journal.jsonl"),
+        )
     };
-    if let Err(e) = std::fs::write(&journal_path, &report.journal) {
-        eprintln!("cannot write {journal_path}: {e}");
+    if let Err(e) = std::fs::write(&binary_path, &report.journal_binary) {
+        eprintln!("cannot write {binary_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&jsonl_path, &report.journal) {
+        eprintln!("cannot write {jsonl_path}: {e}");
         std::process::exit(1);
     }
     println!(
-        "wrote {path} ({} bugs) + {journal_path} ({} bytes)",
+        "wrote {path} ({} bugs) + {binary_path} ({} bytes) + {jsonl_path} ({} bytes)",
         evals.len(),
+        report.journal_binary.len(),
         report.journal.len()
     );
     gate_accuracy(&evals);

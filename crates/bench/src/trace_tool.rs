@@ -1,31 +1,56 @@
 //! Journal exploration shared by the `gist-trace` binary and the
-//! `--explain` render mode: load a JSONL journal, summarize it, grep by
-//! event kind, and resolve sketch-step provenance chains.
+//! `--explain` render mode: load a binary or JSONL journal, summarize it
+//! (warning on overwrite gaps), grep by event kind, resolve sketch-step
+//! provenance chains, answer provenance queries (`gist-trace query`), and
+//! tail a live in-process diagnosis (`gist-trace follow`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gist_obs::json::Json;
-use gist_obs::JournalEvent;
+use gist_obs::{JournalEvent, JournalStats};
 
 /// A loaded flight-recorder journal.
 #[derive(Clone, Debug, Default)]
 pub struct Journal {
     /// Events in seq order (the JSONL line order).
     pub events: Vec<JournalEvent>,
+    /// Overwrite accounting from the binary journal's meta frame (zero
+    /// for JSONL-loaded and in-process journals with no overwrites).
+    pub stats: JournalStats,
 }
 
 impl Journal {
+    /// Loads a journal from raw file bytes, sniffing the format: the
+    /// binary magic selects the wire decoder, anything else parses as
+    /// JSONL.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Journal, String> {
+        if gist_obs::wire::is_binary(bytes) {
+            let (records, stats) = gist_obs::journal::parse_binary(bytes)?;
+            return Ok(Journal {
+                events: gist_obs::journal::to_events(&records),
+                stats,
+            });
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| "journal is neither binary (bad magic) nor UTF-8 JSONL".to_owned())?;
+        Journal::parse(text)
+    }
+
     /// Parses a JSONL journal (the content of `JOURNAL_gist.jsonl`).
     pub fn parse(text: &str) -> Result<Journal, String> {
         Ok(Journal {
             events: gist_obs::journal::parse_jsonl(text)?,
+            stats: JournalStats::default(),
         })
     }
 
     /// Wraps already-drained events (the in-process path used by
     /// `repro -- sketch <bug> --explain`).
     pub fn from_events(events: Vec<JournalEvent>) -> Journal {
-        Journal { events }
+        Journal {
+            events,
+            stats: JournalStats::default(),
+        }
     }
 
     /// The event with the given seq-no, if journaled.
@@ -146,10 +171,42 @@ impl Journal {
         Ok(out)
     }
 
+    /// A warning when the journal has gaps: the bounded ring overwrote
+    /// events (meta-frame accounting), or the seq span is not contiguous
+    /// (a journal trimmed by other means). `None` for complete journals.
+    pub fn gap_warning(&self) -> Option<String> {
+        let (min, max) = match (self.events.first(), self.events.last()) {
+            (Some(f), Some(l)) => (f.seq, l.seq),
+            _ => {
+                return (self.stats.events_overwritten > 0).then(|| {
+                    format!(
+                        "WARNING: journal has gaps: {} events overwritten, none retained",
+                        self.stats.events_overwritten
+                    )
+                })
+            }
+        };
+        let missing = (max - min + 1).saturating_sub(self.events.len() as u64);
+        if self.stats.events_overwritten == 0 && missing == 0 {
+            return None;
+        }
+        Some(format!(
+            "WARNING: journal has gaps: {} events overwritten, \
+             {missing} seq-nos missing in span {min}..{max} \
+             (oldest retained seq {min})",
+            self.stats.events_overwritten
+        ))
+    }
+
     /// `gist-trace summary`: totals, per-kind counts, and the traces with
-    /// their iteration/recurrence outcomes.
+    /// their iteration/recurrence outcomes. Warns when the journal has
+    /// overwrite gaps.
     pub fn summary_text(&self) -> String {
         let mut out = format!("{} events\n", self.events.len());
+        if let Some(warning) = self.gap_warning() {
+            out.push_str(&warning);
+            out.push('\n');
+        }
         out.push_str("\nevents by kind:\n");
         for (kind, n) in self.kind_counts() {
             out.push_str(&format!("  {kind:<18} {n}\n"));
@@ -227,12 +284,241 @@ impl Journal {
         }
         out
     }
+
+    /// The `  <- …` line resolving a referenced seq-no, tolerant of
+    /// references into overwritten (gap) regions.
+    fn resolve_line(&self, seq: u64, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        match self.event_by_seq(seq) {
+            Some(e) => format!("{pad}<- {}", Self::event_line(e)),
+            None => format!("{pad}<- #{seq} <unresolved>"),
+        }
+    }
+
+    /// `gist-trace query promotions`: every `ast.promoted` event (in the
+    /// given trace, or journal-wide), each followed by the evidence event
+    /// that caused it — the watch hit for `watch-discovery` promotions,
+    /// the slice computation for `race-seed` ones. This answers "which
+    /// watch hit promoted this statement?" for the whole diagnosis.
+    pub fn query_promotions(&self, trace: Option<u64>) -> Vec<String> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if e.kind != "ast.promoted" || trace.is_some_and(|t| e.trace != t) {
+                continue;
+            }
+            out.push(Self::event_line(e));
+            if let Some(via) = e.field_u64("via").filter(|&v| v != 0) {
+                out.push(self.resolve_line(via, 2));
+            }
+        }
+        out
+    }
+
+    /// `gist-trace query promoted <iid>`: which event promoted statement
+    /// `iid` into tracking? Errors when the statement was never promoted.
+    pub fn query_promoted(&self, iid: u64, trace: Option<u64>) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if e.kind != "ast.promoted"
+                || e.field_u64("iid") != Some(iid)
+                || trace.is_some_and(|t| e.trace != t)
+            {
+                continue;
+            }
+            out.push(Self::event_line(e));
+            if let Some(via) = e.field_u64("via").filter(|&v| v != 0) {
+                out.push(self.resolve_line(via, 2));
+            }
+        }
+        if out.is_empty() {
+            return Err(format!("no ast.promoted event for iid={iid} in journal"));
+        }
+        Ok(out)
+    }
+
+    /// `gist-trace query hits <iid>`: every watchpoint hit at statement
+    /// `iid`, in seq order.
+    pub fn query_hits(&self, iid: u64, trace: Option<u64>) -> Vec<String> {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.kind == "watch.hit"
+                    && e.field_u64("iid") == Some(iid)
+                    && trace.is_none_or(|t| e.trace == t)
+            })
+            .map(Self::event_line)
+            .collect()
+    }
+
+    /// `gist-trace query decode <bug> <step>`: which PT decode fed this
+    /// sketch step? Resolves the step's provenance chain to its
+    /// `pt.decoded` event, plus the per-core `pt.segment` decodes that
+    /// immediately precede it on the same thread.
+    pub fn query_decode(&self, label: &str, step: u64) -> Result<Vec<String>, String> {
+        let lines = self.explain_step(label, step)?;
+        let mut out = vec![lines[0].clone()];
+        let decode = lines
+            .iter()
+            .find(|l| l.contains(" pt.decoded "))
+            .ok_or_else(|| {
+                format!("sketch step {step} has no pt.decoded event in its provenance chain")
+            })?;
+        out.push(decode.clone());
+        // "  <- #seq tN pt.decoded ..." — recover the seq to locate the
+        // decode's preceding per-core segment events.
+        let seq: u64 = decode
+            .trim_start()
+            .trim_start_matches("<- #")
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "malformed decode line".to_owned())?;
+        if let Ok(i) = self.events.binary_search_by_key(&seq, |e| e.seq) {
+            let tid = self.events[i].tid;
+            let mut segments = Vec::new();
+            for e in self.events[..i].iter().rev() {
+                if e.kind == "pt.segment" && e.tid == tid {
+                    segments.push(format!("    <- {}", Self::event_line(e)));
+                } else {
+                    break;
+                }
+            }
+            segments.reverse();
+            out.extend(segments);
+        }
+        Ok(out)
+    }
+
+    /// `gist-trace query chain <seq>`: the transitive provenance closure
+    /// of one event — its `via` / `provenance` references, their
+    /// references, and so on — rendered as an indented tree. Cycles and
+    /// repeats are cut by a visited set.
+    pub fn query_chain(&self, seq: u64) -> Result<Vec<String>, String> {
+        let root = self
+            .event_by_seq(seq)
+            .ok_or_else(|| format!("no event #{seq} in journal"))?;
+        let mut out = vec![Self::event_line(root)];
+        let mut visited = BTreeSet::from([seq]);
+        self.chain_children(root, 1, &mut visited, &mut out);
+        Ok(out)
+    }
+
+    /// Seq-nos an event references: `via` for promotions, the
+    /// `provenance` array for sketch steps. (`hit_seq` is a *VM* sequence
+    /// number, not a journal seq, and is deliberately not followed.)
+    fn references(e: &JournalEvent) -> Vec<u64> {
+        let mut refs = Vec::new();
+        if let Some(via) = e.field_u64("via").filter(|&v| v != 0) {
+            refs.push(via);
+        }
+        if let Some(Json::Arr(items)) = e.field("provenance") {
+            refs.extend(items.iter().filter_map(|v| match v {
+                Json::U64(n) => Some(*n),
+                _ => None,
+            }));
+        }
+        refs
+    }
+
+    fn chain_children(
+        &self,
+        e: &JournalEvent,
+        depth: usize,
+        visited: &mut BTreeSet<u64>,
+        out: &mut Vec<String>,
+    ) {
+        // Provenance chains are short (hit -> decode -> promotion ->
+        // slice); the depth bound only guards malformed journals.
+        if depth > 8 {
+            return;
+        }
+        for r in Self::references(e) {
+            if !visited.insert(r) {
+                continue;
+            }
+            out.push(self.resolve_line(r, 2 * depth));
+            if let Some(child) = self.event_by_seq(r) {
+                self.chain_children(child, depth + 1, visited, out);
+            }
+        }
+    }
 }
 
 /// Renders journal events as Chrome trace JSON (`gist-trace export
 /// --chrome` and the CI artifact).
 pub fn chrome_json(journal: &Journal) -> String {
     gist_obs::journal::chrome_trace(&journal.events).pretty()
+}
+
+/// Renders a loaded journal back to JSONL (`gist-trace export --jsonl`:
+/// binary journal in, line-per-event export out). Byte-identical to
+/// [`gist_obs::journal::to_jsonl`] over the same events.
+pub fn jsonl_text(journal: &Journal) -> String {
+    let mut out = String::new();
+    for e in &journal.events {
+        out.push_str(
+            &Json::Obj(vec![
+                ("seq".into(), Json::U64(e.seq)),
+                ("trace".into(), Json::U64(e.trace)),
+                ("tid".into(), Json::U64(u64::from(e.tid))),
+                ("kind".into(), Json::Str(e.kind.clone())),
+                ("data".into(), e.data.clone()),
+            ])
+            .render(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Incremental tail over the in-process journal ring: each [`poll`]
+/// drains what arrived since the last one via
+/// [`gist_obs::journal::drain_since`] cursors, so a consumer thread can
+/// watch a diagnosis that is still running — the cursors guarantee every
+/// event is delivered exactly once (missed-by-overwrite frames are
+/// counted, never silently dropped). Shared by `gist-trace follow` and
+/// the streaming-drain integration test.
+///
+/// [`poll`]: LiveTail::poll
+#[derive(Debug, Default)]
+pub struct LiveTail {
+    cursor: gist_obs::Cursor,
+    /// Everything delivered so far, kept sorted by seq.
+    pub events: Vec<JournalEvent>,
+    /// Frames the ring overwrote before a poll reached them.
+    pub overwritten: u64,
+    /// Polls that delivered at least one event.
+    pub nonempty_polls: u64,
+}
+
+impl LiveTail {
+    /// A tail positioned at the start of the current journal epoch.
+    pub fn new() -> LiveTail {
+        LiveTail::default()
+    }
+
+    /// Drains events recorded since the previous poll, returning the new
+    /// batch (seq-sorted) and folding it into [`LiveTail::events`].
+    pub fn poll(&mut self) -> Vec<JournalEvent> {
+        let chunk = gist_obs::journal::drain_since(self.cursor);
+        self.cursor = chunk.cursor;
+        self.overwritten += chunk.overwritten;
+        let new = gist_obs::journal::to_events(&chunk.events);
+        if !new.is_empty() {
+            self.nonempty_polls += 1;
+            self.events.extend(new.iter().cloned());
+            // Chunks arrive in ring order; cross-thread flushes can
+            // interleave seq ranges across chunks, so re-sort the whole
+            // accumulation.
+            self.events.sort_by_key(|e| e.seq);
+        }
+        new
+    }
+
+    /// The accumulated events as a queryable [`Journal`] snapshot.
+    pub fn journal(&self) -> Journal {
+        Journal::from_events(self.events.clone())
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +640,157 @@ mod tests {
         assert!(d.contains("step 1 iid=7 via [slice.computed]"));
         // Only the final rebuild's steps appear.
         assert!(!d.contains("iid=5 via"));
+    }
+
+    /// A journal with the full provenance shape: hit -> segments ->
+    /// decode -> promotion -> sketch step.
+    fn provenance_sample() -> Journal {
+        let mk = |seq, kind: &str, data: Vec<(&str, Json)>| JournalEvent {
+            seq,
+            trace: 1,
+            tid: 0,
+            kind: kind.into(),
+            data: Json::Obj(
+                data.into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect::<Vec<_>>(),
+            ),
+        };
+        Journal::from_events(vec![
+            mk(
+                1,
+                "trace.start",
+                vec![("label", Json::Str("Sketch for y".into()))],
+            ),
+            mk(2, "slice.computed", vec![("criterion", Json::U64(9))]),
+            mk(
+                3,
+                "watch.hit",
+                vec![("iid", Json::U64(30)), ("addr", Json::U64(64))],
+            ),
+            mk(
+                4,
+                "pt.segment",
+                vec![("core", Json::U64(0)), ("stmts", Json::U64(5))],
+            ),
+            mk(
+                5,
+                "pt.segment",
+                vec![("core", Json::U64(1)), ("stmts", Json::U64(6))],
+            ),
+            mk(6, "pt.decoded", vec![("stmts", Json::U64(11))]),
+            mk(
+                7,
+                "ast.promoted",
+                vec![
+                    ("iid", Json::U64(30)),
+                    ("reason", Json::Str("watch-discovery".into())),
+                    ("via", Json::U64(3)),
+                ],
+            ),
+            mk(
+                8,
+                "sketch.step",
+                vec![
+                    ("step", Json::U64(1)),
+                    ("iid", Json::U64(30)),
+                    (
+                        "provenance",
+                        Json::Arr(vec![Json::U64(3), Json::U64(6), Json::U64(7), Json::U64(2)]),
+                    ),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn query_promotions_resolve_their_evidence() {
+        let j = provenance_sample();
+        let lines = j.query_promotions(None);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("ast.promoted"));
+        assert!(lines[0].contains("iid=30"));
+        assert!(
+            lines[1].contains("watch.hit"),
+            "the via line answers which hit promoted the statement: {}",
+            lines[1]
+        );
+        assert!(j.query_promotions(Some(99)).is_empty());
+        let by_iid = j.query_promoted(30, None).unwrap();
+        assert_eq!(by_iid, lines);
+        assert!(j.query_promoted(31, None).is_err());
+    }
+
+    #[test]
+    fn query_decode_finds_the_feeding_decode_and_segments() {
+        let j = provenance_sample();
+        let lines = j.query_decode("Sketch for y", 1).unwrap();
+        assert!(lines[0].contains("sketch.step"));
+        assert!(lines[1].contains("pt.decoded"));
+        // The decode's same-thread segment runs ride along, in order.
+        assert!(lines[2].contains("core=0"));
+        assert!(lines[3].contains("core=1"));
+        assert!(j.query_decode("Sketch for y", 2).is_err());
+        // A step whose chain lacks a decode errors cleanly.
+        assert!(sample().query_decode("Sketch for x", 1).is_err());
+    }
+
+    #[test]
+    fn query_hits_and_chain() {
+        let j = provenance_sample();
+        let hits = j.query_hits(30, Some(1));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].contains("watch.hit"));
+        assert!(j.query_hits(30, Some(2)).is_empty());
+        // The chain from the sketch step expands provenance transitively:
+        // the promotion (seq 7) references the hit (seq 3) via `via`, but
+        // the hit is already visited, so it appears exactly once.
+        let chain = j.query_chain(8).unwrap();
+        let hits_in_chain = chain.iter().filter(|l| l.contains("watch.hit")).count();
+        assert_eq!(hits_in_chain, 1, "visited set cuts repeats: {chain:?}");
+        assert!(chain.iter().any(|l| l.contains("ast.promoted")));
+        assert!(chain.iter().any(|l| l.contains("slice.computed")));
+        assert!(j.query_chain(999).is_err());
+    }
+
+    #[test]
+    fn gap_warning_fires_on_overwrites_and_seq_holes() {
+        let mut j = provenance_sample();
+        assert_eq!(j.gap_warning(), None);
+        assert!(!j.summary_text().contains("WARNING"));
+        j.stats.events_overwritten = 4;
+        j.stats.oldest_seq = 1;
+        let w = j.gap_warning().expect("overwrites warn");
+        assert!(w.contains("4 events overwritten"));
+        assert!(j.summary_text().contains("WARNING"));
+        // A seq hole warns even without meta accounting.
+        let mut holey = provenance_sample();
+        holey.events.remove(3);
+        let w = holey.gap_warning().expect("seq hole warns");
+        assert!(w.contains("1 seq-nos missing"), "{w}");
+    }
+
+    #[test]
+    fn load_bytes_sniffs_binary_and_jsonl() {
+        use gist_obs::{EventKind, EventRecord};
+        let records = vec![EventRecord {
+            seq: 1,
+            trace: 1,
+            tid: 0,
+            kind: EventKind::RunStarted { run: 1, seed: 7 },
+        }];
+        let stats = JournalStats {
+            events_overwritten: 2,
+            oldest_seq: 1,
+        };
+        let bin = gist_obs::journal::to_binary(&records, &stats);
+        let j = Journal::load_bytes(&bin).expect("binary loads");
+        assert_eq!(j.events.len(), 1);
+        assert_eq!(j.stats, stats);
+        let jsonl = gist_obs::journal::to_jsonl(&records);
+        let j2 = Journal::load_bytes(jsonl.as_bytes()).expect("jsonl loads");
+        assert_eq!(j2.events, j.events);
+        assert_eq!(j2.stats, JournalStats::default());
+        assert!(Journal::load_bytes(&[0xff, 0xfe, 0x00]).is_err());
     }
 }

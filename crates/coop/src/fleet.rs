@@ -506,6 +506,10 @@ fn run_executor(
     local.shard_hits = ctx.shard.hits();
     local.shard_misses = ctx.shard.misses();
     ctx.shard.reset_stats();
+    // Batch boundary: persistent workers outlive many batches, so their
+    // thread-exit flush comes far too late — push buffered events into
+    // the journal ring here so the dispatching thread's drain (and any
+    // `drain_since` cursor tailing the diagnosis) sees this batch.
     gist_obs::journal::flush_local();
     local
 }

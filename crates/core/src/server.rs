@@ -508,6 +508,12 @@ impl<'p> GistServer<'p> {
                 }
             }
 
+            // Iteration boundary: push this iteration's events into the
+            // global ring so streaming consumers (`gist-trace follow`,
+            // `journal::drain_since` cursors) tail the diagnosis live
+            // instead of waiting for the final drain.
+            gist_obs::journal::flush_local();
+
             let done = stop(&sketch) || ast.saturated() || iterations >= self.config.max_iterations;
             if done {
                 break;
@@ -531,6 +537,9 @@ impl<'p> GistServer<'p> {
         }
         drop(_span_diagnose);
         gist_obs::end_trace(iterations as u64, recurrences as u64);
+        // Final checkpoint: make the trace.finish (and the post-loop
+        // demotion events) visible to live cursors immediately.
+        gist_obs::journal::flush_local();
 
         DiagnosisResult {
             sketch,

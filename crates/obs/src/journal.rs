@@ -1,35 +1,60 @@
 //! The flight-recorder journal: lock-free-per-thread buffering of
-//! [`EventRecord`]s, drained into a deterministic JSONL journal and a
-//! Chrome `trace_event` export.
+//! [`EventRecord`]s over a bounded ring of binary frames, drained either
+//! wholesale (batch exports) or incrementally through stable cursors
+//! (live tailing), with JSONL and Chrome `trace_event` as export formats.
+//!
+//! # Architecture
+//!
+//! ```text
+//! record()  ──► thread-local Vec (no lock)
+//!                  │ every FLUSH_EVERY events / flush_local() / thread exit
+//!                  ▼ encode to wire frames (varint, ~10–30 B/event)
+//!              bounded global ring of frames (brief mutex push)
+//!                  │                          │
+//!            drain() / drain_with_stats()   drain_since(cursor)
+//!            take-and-clear, seq-sorted     incremental tail, no clear
+//! ```
+//!
+//! The ring is **bounded** ([`DEFAULT_RING_CAPACITY`] frames): when full,
+//! the oldest frames are overwritten and counted — a runaway loop costs
+//! bounded memory and an explicit `events_overwritten` tally (surfaced by
+//! [`drain_with_stats`], the binary journal's meta frame, and the
+//! `gist-trace summary` gap warning) instead of either unbounded growth
+//! or the old silent `MAX_EVENTS` drop-to-0-sentinel behavior.
 //!
 //! # Ordering and determinism
 //!
 //! Sequence numbers come from one process-global relaxed atomic, so the
 //! drained journal (sorted by seq) is totally ordered. Records carry *no*
 //! wall-clock field: under fixed seeds and sequential execution (fleet
-//! batch = 1, the deterministic bench configuration) the journal is
-//! **byte-identical** across runs. Under parallel execution (batch > 1)
-//! events still record safely — per-thread buffers flush into a global
-//! sink under a mutex — but interleaving makes seq assignment racy, which
-//! is why the bench drains the journal *before* its throughput section.
+//! batch = 1, the deterministic bench configuration) the journal — binary
+//! frames and JSONL export alike — is **byte-identical** across runs.
+//! Under parallel execution (batch > 1) events still record safely, but
+//! interleaving makes seq assignment racy, which is why the bench drains
+//! the journal *before* its throughput section.
 //!
-//! # Buffering
+//! # Streaming drains
 //!
-//! [`record`] pushes into a thread-local `Vec` (no lock, no allocation
-//! beyond amortized growth) and flushes to the global sink every
-//! [`FLUSH_EVERY`] events and at thread exit. [`drain`] flushes the
-//! calling thread, takes the sink, and sorts by seq; worker threads joined
-//! before the drain (the fleet uses scoped threads) have already flushed
-//! via their thread-local destructor.
+//! [`drain_since`] reads the ring without clearing it and returns a new
+//! [`Cursor`]. Cursors index the ring's monotonic *arrival order* (not
+//! seq watermarks — cross-thread flushes arrive out of seq order, and a
+//! watermark would drop late arrivals), so a consumer polling
+//! `drain_since` sees every frame **exactly once**: no duplicates, no
+//! drops, except frames overwritten before the consumer reached them,
+//! which are counted in [`DrainChunk::overwritten`]. This is what
+//! `gist-trace follow` and the journal_stream test tail.
 //!
 //! # `metrics-off`
 //!
-//! Every entry point compiles to a no-op returning the 0 sentinel; the
-//! [`crate::event!`] macro takes the payload as a closure, so payload
-//! construction itself is compiled away.
+//! Every recording entry point compiles to a no-op returning the 0
+//! sentinel; the [`crate::event!`] macro takes the payload as a closure,
+//! so payload construction itself is compiled away. The pure
+//! encode/decode/export functions remain available in both modes.
 
 #[cfg(not(feature = "metrics-off"))]
 use std::cell::RefCell;
+#[cfg(not(feature = "metrics-off"))]
+use std::collections::VecDeque;
 #[cfg(not(feature = "metrics-off"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 #[cfg(not(feature = "metrics-off"))]
@@ -37,13 +62,16 @@ use std::sync::{Mutex, OnceLock};
 
 pub use crate::event::{EventKind, EventRecord, JournalEvent};
 use crate::json::Json;
+pub use crate::wire::JournalStats;
 
-/// Hard cap on journal size per reset epoch: a runaway loop stops
-/// journaling (events past the cap return the 0 sentinel and bump the
-/// `journal.events_dropped` counter) instead of exhausting memory.
-pub const MAX_EVENTS: u64 = 1_000_000;
+/// Default ring capacity in frames. At typical frame sizes (10–30 bytes)
+/// a full ring costs ~20–30 MB; the full-bugbase bench records ~25k
+/// events, so overwrite only triggers on runaway loops — which now lose
+/// the *oldest* events with accounting instead of silently dropping the
+/// newest.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
 
-/// Thread-local buffer length that triggers a flush to the global sink.
+/// Thread-local buffer length that triggers a flush to the global ring.
 #[cfg(not(feature = "metrics-off"))]
 const FLUSH_EVERY: usize = 256;
 
@@ -54,16 +82,113 @@ static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 #[cfg(not(feature = "metrics-off"))]
 static CURRENT_TRACE: AtomicU64 = AtomicU64::new(0);
 /// Reset epoch: bumped by [`reset`] so stale thread-local buffers (and
-/// their cached thread indices) are discarded lazily.
+/// their cached thread indices) are discarded lazily, and so cursors from
+/// before a reset read as "start over" instead of aliasing new positions.
 #[cfg(not(feature = "metrics-off"))]
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 #[cfg(not(feature = "metrics-off"))]
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// Cumulative nanoseconds spent encoding events to wire frames (the
+/// journal's per-flush cost); read by [`encode_nanos`] for the bench
+/// report's `encode_ms` split.
+#[cfg(not(feature = "metrics-off"))]
+static ENCODE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Inline capacity of a ring frame. Typical frames run 10–30 bytes
+/// (varints), so nearly every frame stores inline and the ring makes no
+/// per-event heap allocation; long labels/paths spill to a box.
+#[cfg(not(feature = "metrics-off"))]
+const FRAME_INLINE: usize = 30;
+
+/// Frame byte storage: inline for the common small frame, boxed beyond
+/// [`FRAME_INLINE`].
+#[cfg(not(feature = "metrics-off"))]
+enum FrameBytes {
+    Inline { len: u8, buf: [u8; FRAME_INLINE] },
+    Spilled(Box<[u8]>),
+}
 
 #[cfg(not(feature = "metrics-off"))]
-fn sink() -> &'static Mutex<Vec<EventRecord>> {
-    static SINK: OnceLock<Mutex<Vec<EventRecord>>> = OnceLock::new();
-    SINK.get_or_init(|| Mutex::new(Vec::new()))
+impl FrameBytes {
+    fn copy_from(bytes: &[u8]) -> FrameBytes {
+        if bytes.len() <= FRAME_INLINE {
+            let mut buf = [0u8; FRAME_INLINE];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            FrameBytes::Inline {
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            FrameBytes::Spilled(bytes.into())
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            FrameBytes::Inline { len, buf } => &buf[..usize::from(*len)],
+            FrameBytes::Spilled(b) => b,
+        }
+    }
+}
+
+/// One encoded event held by the ring: the frame bytes plus the seq
+/// (kept unencoded for sorting/accounting without a decode).
+#[cfg(not(feature = "metrics-off"))]
+struct Frame {
+    seq: u64,
+    bytes: FrameBytes,
+}
+
+/// The bounded global ring of encoded frames, in arrival (push) order.
+#[cfg(not(feature = "metrics-off"))]
+struct Ring {
+    frames: VecDeque<Frame>,
+    /// Arrival index of `frames[0]`.
+    start_pos: u64,
+    /// Arrival index the next push will get.
+    end_pos: u64,
+    /// Frames overwritten this epoch.
+    overwritten: u64,
+    capacity: usize,
+}
+
+#[cfg(not(feature = "metrics-off"))]
+impl Ring {
+    fn push(&mut self, frame: Frame) {
+        if self.frames.len() >= self.capacity.max(1) {
+            self.frames.pop_front();
+            self.start_pos += 1;
+            self.overwritten += 1;
+        }
+        self.frames.push_back(frame);
+        self.end_pos += 1;
+    }
+
+    /// The oldest seq still present (0 when empty). An O(n) scan: frames
+    /// arrive roughly seq-ordered but cross-thread flushes interleave, so
+    /// the front frame is not necessarily the minimum.
+    fn oldest_seq(&self) -> u64 {
+        self.frames.iter().map(|f| f.seq).min().unwrap_or(0)
+    }
+}
+
+#[cfg(not(feature = "metrics-off"))]
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            frames: VecDeque::new(),
+            start_pos: 0,
+            end_pos: 0,
+            overwritten: 0,
+            capacity: DEFAULT_RING_CAPACITY,
+        })
+    })
+}
+
+#[cfg(not(feature = "metrics-off"))]
+fn lock_ring() -> std::sync::MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(not(feature = "metrics-off"))]
@@ -81,8 +206,29 @@ impl LocalBuf {
         }
         // Events from a stale epoch must not leak into the new journal.
         if self.generation == GENERATION.load(Ordering::Relaxed) {
-            let mut sink = sink().lock().unwrap_or_else(|e| e.into_inner());
-            sink.append(&mut self.events);
+            // Encode outside the ring lock: only the pushes serialize.
+            // Scratch buffers are reused across the whole flush, so small
+            // frames (the overwhelming majority) allocate nothing.
+            let t0 = std::time::Instant::now();
+            let mut body = Vec::with_capacity(40);
+            let mut frame = Vec::with_capacity(48);
+            let frames: Vec<Frame> = self
+                .events
+                .drain(..)
+                .map(|e| {
+                    frame.clear();
+                    crate::wire::encode_event_into(&e, &mut body, &mut frame);
+                    Frame {
+                        seq: e.seq,
+                        bytes: FrameBytes::copy_from(&frame),
+                    }
+                })
+                .collect();
+            ENCODE_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let mut ring = lock_ring();
+            for f in frames {
+                ring.push(f);
+            }
         } else {
             self.events.clear();
         }
@@ -107,8 +253,34 @@ thread_local! {
     };
 }
 
+/// A stable position in the journal's arrival order, for incremental
+/// drains via [`drain_since`]. `Cursor::default()` reads from the
+/// beginning. Cursors survive across polls; a [`reset`] invalidates them
+/// (the generation mismatch makes the next drain start over).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cursor {
+    generation: u64,
+    pos: u64,
+}
+
+/// One incremental drain result: the newly arrived events (sorted by seq
+/// within the chunk), how many frames the consumer *missed* (overwritten
+/// before this poll reached them), and the cursor to pass to the next
+/// [`drain_since`] call.
+#[derive(Clone, Debug, Default)]
+pub struct DrainChunk {
+    /// Events that arrived since the cursor, sorted by seq.
+    pub events: Vec<EventRecord>,
+    /// Frames lost between the cursor and the oldest retained frame:
+    /// non-zero only when the ring overwrote faster than the consumer
+    /// polled (or a full [`drain`] consumed frames out from under it).
+    pub overwritten: u64,
+    /// Position after this chunk; pass to the next [`drain_since`].
+    pub cursor: Cursor,
+}
+
 /// Records one event, returning its sequence number (0 = not recorded:
-/// `metrics-off`, past [`MAX_EVENTS`], or during thread teardown).
+/// `metrics-off` or during thread teardown).
 ///
 /// Prefer the [`crate::event!`] macro, which defers payload construction
 /// so `metrics-off` builds compile it away entirely.
@@ -116,10 +288,6 @@ pub fn record(kind: EventKind) -> u64 {
     #[cfg(not(feature = "metrics-off"))]
     {
         let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
-        if seq > MAX_EVENTS {
-            crate::counter!("journal.events_dropped").inc();
-            return 0;
-        }
         let trace = CURRENT_TRACE.load(Ordering::Relaxed);
         LOCAL
             .try_with(|l| {
@@ -204,11 +372,12 @@ pub fn end_trace(iterations: u64, recurrences: u64) {
     }
 }
 
-/// Flushes the calling thread's buffered events into the global sink
+/// Flushes the calling thread's buffered events into the global ring
 /// without draining it. Thread-local buffers otherwise flush every
 /// [`FLUSH_EVERY`] events and at thread exit — persistent worker threads
-/// (which outlive many batches) call this at batch end so a subsequent
-/// [`drain`] from the dispatching thread sees their events.
+/// call this at batch end, and the core server calls it at each AsT
+/// iteration boundary, so streaming consumers ([`drain_since`]) see
+/// events at those checkpoints rather than [`FLUSH_EVERY`] granularity.
 pub fn flush_local() {
     #[cfg(not(feature = "metrics-off"))]
     {
@@ -220,22 +389,155 @@ pub fn flush_local() {
 /// sorted by sequence number. The journal is empty afterwards (recording
 /// continues; seq numbers keep growing until [`reset`]).
 pub fn drain() -> Vec<EventRecord> {
+    drain_with_stats().0
+}
+
+/// [`drain`] plus the epoch's overwrite accounting: how many events the
+/// bounded ring discarded, and the oldest seq that survived. The stats
+/// feed the binary journal's meta frame (see [`to_binary`]) and the bench
+/// report's `journal` section.
+pub fn drain_with_stats() -> (Vec<EventRecord>, JournalStats) {
+    let (binary, stats) = drain_binary();
+    let (events, _) = crate::wire::parse_binary(&binary).expect("ring frames decode");
+    (events, stats)
+}
+
+/// Takes the whole journal as a complete **binary journal** — header, all
+/// frames sorted by seq, trailing meta frame — without decoding anything:
+/// the ring already holds wire-encoded frames, so this is a sort plus one
+/// concatenation. Byte-identical to `to_binary(&drain(), &stats)` and the
+/// cheapest way to persist the journal (what `repro -- bench` writes).
+/// The journal is empty afterwards, like [`drain`].
+pub fn drain_binary() -> (Vec<u8>, JournalStats) {
     #[cfg(not(feature = "metrics-off"))]
     {
         let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
-        let mut events = std::mem::take(&mut *sink().lock().unwrap_or_else(|e| e.into_inner()));
-        events.sort_by_key(|e| e.seq);
-        events
+        let (frames, overwritten) = {
+            let mut ring = lock_ring();
+            ring.start_pos = ring.end_pos;
+            (std::mem::take(&mut ring.frames), ring.overwritten)
+        };
+        let mut frames: Vec<Frame> = frames.into();
+        frames.sort_unstable_by_key(|f| f.seq);
+        let stats = JournalStats {
+            events_overwritten: overwritten,
+            oldest_seq: frames.first().map_or(0, |f| f.seq),
+        };
+        let total: usize = frames.iter().map(|f| f.bytes.as_slice().len()).sum();
+        let mut out = Vec::with_capacity(total + 24);
+        out.extend_from_slice(&crate::wire::MAGIC);
+        crate::wire::put_varint(crate::wire::VERSION, &mut out);
+        for f in &frames {
+            out.extend_from_slice(f.bytes.as_slice());
+        }
+        crate::wire::encode_meta(&stats, &mut out);
+        (out, stats)
     }
     #[cfg(feature = "metrics-off")]
     {
-        Vec::new()
+        // A valid, empty binary journal (header + meta frame only).
+        let stats = JournalStats::default();
+        (crate::wire::to_binary(&[], &stats), stats)
     }
 }
 
-/// Resets the journal: clears all buffers, restarts seq and trace-id
-/// counters at 1, and bumps the epoch so stale thread-local buffers are
-/// discarded. Called from [`crate::reset`].
+/// Incremental drain: every frame that arrived since `cursor`, without
+/// clearing the ring. See the module docs for the exactly-once guarantee.
+/// Flushes the calling thread first, so a single-threaded recorder can
+/// tail itself; events from *other* threads appear once those threads
+/// flush (fleet batch boundaries, server iteration boundaries, or thread
+/// exit).
+pub fn drain_since(cursor: Cursor) -> DrainChunk {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+        let ring = lock_ring();
+        let generation = GENERATION.load(Ordering::Relaxed);
+        // A cursor from another epoch restarts from the beginning.
+        let pos = if cursor.generation == generation {
+            cursor.pos.min(ring.end_pos)
+        } else {
+            0
+        };
+        let start = pos.max(ring.start_pos);
+        let mut events: Vec<EventRecord> = ring
+            .frames
+            .iter()
+            .skip((start - ring.start_pos) as usize)
+            .map(|f| crate::wire::decode_event(f.bytes.as_slice()).expect("ring frame decodes"))
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        DrainChunk {
+            events,
+            overwritten: start - pos,
+            cursor: Cursor {
+                generation,
+                pos: ring.end_pos,
+            },
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = cursor;
+        DrainChunk::default()
+    }
+}
+
+/// Current overwrite accounting without draining: events overwritten this
+/// epoch and the oldest seq still held by the ring.
+pub fn stats() -> JournalStats {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let ring = lock_ring();
+        JournalStats {
+            events_overwritten: ring.overwritten,
+            oldest_seq: ring.oldest_seq(),
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        JournalStats::default()
+    }
+}
+
+/// Cumulative milliseconds spent encoding events into wire frames this
+/// epoch — the journal's amortized recording cost, reported as
+/// `encode_ms` in the bench's `timing.journal` section.
+pub fn encode_ms() -> f64 {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        ENCODE_NANOS.load(Ordering::Relaxed) as f64 / 1e6
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        0.0
+    }
+}
+
+/// Overrides the ring capacity (in frames), trimming immediately if the
+/// ring already holds more. The capacity persists across [`reset`] calls;
+/// tests that shrink it must restore [`DEFAULT_RING_CAPACITY`].
+pub fn set_ring_capacity(capacity: usize) {
+    #[cfg(not(feature = "metrics-off"))]
+    {
+        let mut ring = lock_ring();
+        ring.capacity = capacity.max(1);
+        while ring.frames.len() > ring.capacity {
+            ring.frames.pop_front();
+            ring.start_pos += 1;
+            ring.overwritten += 1;
+        }
+    }
+    #[cfg(feature = "metrics-off")]
+    {
+        let _ = capacity;
+    }
+}
+
+/// Resets the journal: clears the ring and its accounting, restarts seq
+/// and trace-id counters at 1, and bumps the epoch so stale thread-local
+/// buffers and pre-reset cursors are discarded. Called from
+/// [`crate::reset`].
 pub fn reset() {
     #[cfg(not(feature = "metrics-off"))]
     {
@@ -244,13 +546,35 @@ pub fn reset() {
         NEXT_SEQ.store(1, Ordering::Relaxed);
         NEXT_TRACE.store(1, Ordering::Relaxed);
         CURRENT_TRACE.store(0, Ordering::Relaxed);
-        sink().lock().unwrap_or_else(|e| e.into_inner()).clear();
+        ENCODE_NANOS.store(0, Ordering::Relaxed);
+        {
+            let mut ring = lock_ring();
+            ring.frames.clear();
+            ring.start_pos = 0;
+            ring.end_pos = 0;
+            ring.overwritten = 0;
+        }
         let _ = LOCAL.try_with(|l| l.borrow_mut().events.clear());
     }
 }
 
-/// Renders drained records as the deterministic JSONL journal: one
+/// Assembles the canonical binary journal from drained records: wire
+/// header, one frame per event (callers pass the seq-sorted [`drain`]
+/// output), and a trailing meta frame carrying the overwrite accounting.
+/// Deterministic: equal inputs produce byte-identical journals.
+pub fn to_binary(events: &[EventRecord], stats: &JournalStats) -> Vec<u8> {
+    crate::wire::to_binary(events, stats)
+}
+
+/// Parses a binary journal produced by [`to_binary`] back into records
+/// plus its meta-frame accounting.
+pub fn parse_binary(bytes: &[u8]) -> Result<(Vec<EventRecord>, JournalStats), String> {
+    crate::wire::parse_binary(bytes)
+}
+
+/// Renders drained records as the deterministic JSONL **export**: one
 /// compact JSON object per line, sorted by seq, no wall-clock fields.
+/// JSONL is an export format; [`to_binary`] is the canonical journal.
 pub fn to_jsonl(events: &[EventRecord]) -> String {
     let mut out = String::new();
     for e in events {
@@ -405,6 +729,8 @@ mod tests {
     // NOTE: the journal is process-global; these tests run in one binary
     // alongside the metric tests, so they only assert properties robust
     // to interleaving (or run single-threaded logic on owned data).
+    // Ring-capacity and cursor exactly-once behavior live in the
+    // single-test integration binary tests/journal_stream.rs.
 
     #[test]
     fn record_and_drain_round_trip() {
@@ -421,10 +747,71 @@ mod tests {
         assert_eq!(
             mine[0].kind,
             EventKind::RunStarted { run: 7, seed: 9 },
-            "payload survives buffering"
+            "payload survives buffering and the frame encode/decode"
         );
         // Drained output is sorted by seq.
         assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn drain_since_does_not_duplicate_own_events() {
+        if cfg!(feature = "metrics-off") {
+            let chunk = drain_since(Cursor::default());
+            assert!(chunk.events.is_empty());
+            return;
+        }
+        let seq = record(EventKind::WatchArmed {
+            addr: 0x10,
+            slot: 1,
+        });
+        // A sibling test's full drain() can steal the event between our
+        // flush and read, so presence in the first chunk is not asserted;
+        // exactly-once (no re-delivery) always is.
+        let chunk = drain_since(Cursor::default());
+        let next = drain_since(chunk.cursor);
+        assert!(
+            next.events.iter().all(|e| e.seq != seq),
+            "cursor re-delivered an event"
+        );
+    }
+
+    #[test]
+    fn binary_round_trips_and_is_compact() {
+        let records = vec![
+            EventRecord {
+                seq: 1,
+                trace: 1,
+                tid: 0,
+                kind: EventKind::TraceStarted {
+                    label: "Failure Sketch for t \"quoted\"".into(),
+                },
+            },
+            EventRecord {
+                seq: 2,
+                trace: 1,
+                tid: 0,
+                kind: EventKind::WatchHit {
+                    iid: 5,
+                    addr: 0x1000,
+                    value: -3,
+                    hit_seq: 44,
+                    hit_tid: 1,
+                    discovered: true,
+                },
+            },
+        ];
+        let stats = JournalStats {
+            events_overwritten: 7,
+            oldest_seq: 1,
+        };
+        let bin = to_binary(&records, &stats);
+        let (decoded, got) = parse_binary(&bin).expect("parses");
+        assert_eq!(decoded, records);
+        assert_eq!(got, stats);
+        assert!(
+            bin.len() * 2 < to_jsonl(&records).len(),
+            "binary should be far smaller than the JSONL export"
+        );
     }
 
     #[test]

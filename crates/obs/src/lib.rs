@@ -61,13 +61,14 @@ pub mod json;
 mod registry;
 mod snapshot;
 mod timer;
+pub mod wire;
 
 pub use counter::Counter;
 pub use defer::{defer_metrics, flush_deferred, DeferGuard};
 pub use event::{EventKind, EventRecord, JournalEvent};
 pub use handle::{CounterHandle, HistogramHandle};
 pub use histogram::{bucket_floor, bucket_of, Histogram, NUM_BUCKETS};
-pub use journal::{begin_trace, end_trace};
+pub use journal::{begin_trace, end_trace, Cursor, DrainChunk, JournalStats};
 pub use registry::{counter_by_name, histogram_by_name};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, TimerSnapshot};
 pub use timer::{current_span_handle, span, span_under, SpanGuard, SpanHandle, Timer};

@@ -35,15 +35,26 @@ fn deterministic_section_is_byte_identical_across_runs() {
     );
     // The flight-recorder journal carries no wall-clock fields and is
     // drained before the (parallel) throughput section, so it is part of
-    // the determinism contract: byte-identical across same-seed runs.
+    // the determinism contract: the binary journal AND its JSONL export
+    // must both be byte-identical across same-seed runs.
+    assert_eq!(
+        first.journal_binary, second.journal_binary,
+        "deterministic binary journal must be byte-identical under fixed seeds"
+    );
     assert_eq!(
         first.journal, second.journal,
-        "deterministic journal must be byte-identical under fixed seeds"
+        "deterministic JSONL export must be byte-identical under fixed seeds"
     );
     if cfg!(feature = "metrics-off") {
         assert!(first.journal.is_empty(), "metrics-off journals nothing");
     } else {
         assert!(!first.journal.is_empty(), "diagnoses journal events");
+        assert!(
+            first.journal_binary.len() * 2 < first.journal.len(),
+            "binary journal ({} B) should be far smaller than JSONL ({} B)",
+            first.journal_binary.len(),
+            first.journal.len()
+        );
     }
 
     // The report must carry a `throughput` section with headline rates and
@@ -85,11 +96,25 @@ fn deterministic_section_is_byte_identical_across_runs() {
     // recorder must be *visibly* cheap, not assumed cheap).
     let timing = obj_get(&report, "timing").expect("report has a timing section");
     let journal = obj_get(timing, "journal").expect("timing has a `journal` overhead entry");
-    for key in ["events_recorded", "bytes_written", "drain_ms"] {
+    for key in [
+        "events_recorded",
+        "events_overwritten",
+        "oldest_seq",
+        "binary_bytes",
+        "jsonl_bytes",
+        "encode_ms",
+        "drain_ms",
+        "export_ms",
+        "overhead_ratio",
+    ] {
         assert!(
             obj_get(journal, key).is_some(),
             "journal overhead has `{key}`"
         );
+    }
+    match obj_get(journal, "events_overwritten") {
+        Some(Json::U64(n)) => assert_eq!(*n, 0, "the bench must not overflow the ring"),
+        other => panic!("events_overwritten is a U64, got {other:?}"),
     }
     match obj_get(journal, "events_recorded") {
         Some(Json::U64(n)) => {

@@ -1,12 +1,18 @@
 //! Flight-recorder journal contract, in one test binary:
 //!
 //! 1. Same-seed determinism: two diagnoses of the same bug produce
-//!    byte-identical JSONL journals (the journal carries no wall-clock
-//!    fields — only logical seq-nos, trace ids, and typed payloads).
-//! 2. Golden snapshot: the pbzip2 journal's deterministic digest (kind
+//!    byte-identical journals — the canonical *binary* journal and its
+//!    JSONL export alike (the journal carries no wall-clock fields — only
+//!    logical seq-nos, trace ids, and typed payloads).
+//! 2. Lossless export: the binary journal decodes back to exactly the
+//!    drained records, and the JSONL rendered from the decoded records is
+//!    byte-identical to the JSONL rendered from the originals.
+//! 3. Golden snapshot: the pbzip2 journal's deterministic digest (kind
 //!    counts, trace structure, provenance chains resolved to kinds) is
-//!    pinned under `tests/golden/pbzip2-1.journal`.
-//! 3. Provenance coverage: every step of every bugbase sketch has a
+//!    computed over the **binary-decoded** journal and pinned under
+//!    `tests/golden/pbzip2-1.journal` — the golden file predates the
+//!    binary format, so a match proves the binary path changes nothing.
+//! 4. Provenance coverage: every step of every bugbase sketch has a
 //!    non-empty provenance chain whose seq-nos all resolve inside the
 //!    diagnosis's own journal, and `gist-trace explain` (the same
 //!    `explain_step` path) renders each of them.
@@ -53,14 +59,31 @@ fn line_diff(expected: &str, actual: &str) -> String {
 }
 
 /// Diagnoses `bug` against a freshly reset journal and returns the
-/// evaluation together with the drained journal (as JSONL and parsed).
-fn diagnose_journaled(bug: &BugSpec) -> (BugEvaluation, String, Journal) {
+/// evaluation together with the drained journal: binary bytes, JSONL
+/// export, and the parsed view — the parsed view is reconstructed **from
+/// the binary bytes**, so every downstream assertion also exercises the
+/// wire decode path.
+fn diagnose_journaled(bug: &BugSpec) -> (BugEvaluation, Vec<u8>, String, Journal) {
     gist_obs::reset();
     let eval = diagnose_bug(bug, &EvalConfig::default());
-    let events = gist_obs::journal::drain();
+    let (events, stats) = gist_obs::journal::drain_with_stats();
+    assert_eq!(stats.events_overwritten, 0, "{}: ring overflowed", bug.name);
+    let binary = gist_obs::journal::to_binary(&events, &stats);
     let jsonl = gist_obs::journal::to_jsonl(&events);
-    let journal = Journal::from_events(gist_obs::journal::to_events(&events));
-    (eval, jsonl, journal)
+    // Lossless export proof: binary -> records -> JSONL must equal the
+    // JSONL rendered straight from the drained records.
+    let (decoded, decoded_stats) =
+        gist_obs::journal::parse_binary(&binary).expect("binary journal parses");
+    assert_eq!(decoded, events, "{}: binary decode is lossless", bug.name);
+    assert_eq!(decoded_stats, stats, "{}: meta frame round-trips", bug.name);
+    assert_eq!(
+        gist_obs::journal::to_jsonl(&decoded),
+        jsonl,
+        "{}: JSONL exported from the binary journal is byte-identical",
+        bug.name
+    );
+    let journal = Journal::load_bytes(&binary).expect("binary journal loads");
+    (eval, binary, jsonl, journal)
 }
 
 #[test]
@@ -70,21 +93,29 @@ fn journal_is_deterministic_and_every_sketch_step_explains() {
     if cfg!(feature = "metrics-off") {
         // The whole recorder compiles to no-ops; the only contract left is
         // that nothing is journaled.
-        let (_, jsonl, _) = diagnose_journaled(&pbzip2);
+        let (_, _, jsonl, _) = diagnose_journaled(&pbzip2);
         assert!(jsonl.is_empty(), "metrics-off journals nothing");
         return;
     }
 
-    // 1. Byte-identical journal across same-seed runs.
-    let (_, first_jsonl, journal) = diagnose_journaled(&pbzip2);
-    let (_, second_jsonl, _) = diagnose_journaled(&pbzip2);
+    // 1. Byte-identical journals across same-seed runs: binary and JSONL.
+    let (_, first_binary, first_jsonl, journal) = diagnose_journaled(&pbzip2);
+    let (_, second_binary, second_jsonl, _) = diagnose_journaled(&pbzip2);
     assert!(!first_jsonl.is_empty(), "diagnosis journals events");
     assert_eq!(
+        first_binary, second_binary,
+        "binary journal must be byte-identical across same-seed diagnoses"
+    );
+    assert_eq!(
         first_jsonl, second_jsonl,
-        "journal must be byte-identical across same-seed diagnoses"
+        "JSONL export must be byte-identical across same-seed diagnoses"
     );
 
-    // 2. Golden digest snapshot for pbzip2-1.
+    // 2. Golden digest snapshot for pbzip2-1, computed over the journal
+    // reconstructed from the binary bytes (`diagnose_journaled` loads the
+    // parsed view via `Journal::load_bytes`). The golden file predates
+    // the binary format: matching it proves the wire round-trip preserved
+    // the journal exactly.
     let digest = journal.digest();
     let path = golden_dir().join("pbzip2-1.journal");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -108,7 +139,7 @@ fn journal_is_deterministic_and_every_sketch_step_explains() {
     // 3. Every step of every bugbase sketch has a non-empty provenance
     // chain that resolves inside its own journal and explains.
     for bug in all_bugs() {
-        let (eval, _, journal) = diagnose_journaled(&bug);
+        let (eval, _, _, journal) = diagnose_journaled(&bug);
         let label = format!("Failure Sketch for {}", bug.display);
         assert!(
             journal.trace_by_label(&label).is_some(),
